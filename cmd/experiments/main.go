@@ -1,0 +1,82 @@
+// Command experiments regenerates the paper's evaluation tables and
+// figures. Each run prints CSV rows (figure,panel,series,x,value) to
+// stdout; progress goes to stderr.
+//
+// Usage:
+//
+//	experiments -figure 4                 # Figure 4 with default settings
+//	experiments -figure 12 -repeats 10    # more averaging
+//	experiments -figure all -n 5000       # quick pass over everything
+//	experiments -figure 13 -heavy         # enable MWEM on ACS
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"privbayes/internal/experiment"
+)
+
+func main() {
+	var (
+		figure   = flag.String("figure", "", "figure/table id to run (4..19, table4, table5, or 'all')")
+		repeats  = flag.Int("repeats", 3, "runs averaged per point (the paper uses 100)")
+		n        = flag.Int("n", 0, "cap dataset cardinality (0 = paper size)")
+		seed     = flag.Int64("seed", 42, "base random seed")
+		maxK     = flag.Int("maxk", 5, "cap on the binary-mode network degree (0 = uncapped)")
+		subsets  = flag.Int("queries", 400, "evaluate at most this many Qα subsets (0 = all)")
+		heavy    = flag.Bool("heavy", false, "enable full-domain baselines on ACS (slow)")
+		epsFlag  = flag.String("eps", "", "comma-separated ε grid override")
+		listOnly = flag.Bool("list", false, "list runnable experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *listOnly {
+		for _, id := range experiment.Figures() {
+			fmt.Println(id)
+		}
+		return
+	}
+	if *figure == "" {
+		fmt.Fprintln(os.Stderr, "experiments: -figure is required (try -list)")
+		os.Exit(2)
+	}
+
+	cfg := experiment.DefaultConfig()
+	cfg.Repeats = *repeats
+	cfg.N = *n
+	cfg.Seed = *seed
+	cfg.MaxK = *maxK
+	cfg.MaxQuerySubsets = *subsets
+	cfg.Heavy = *heavy
+	cfg.Out = os.Stdout
+	if *epsFlag != "" {
+		for _, tok := range strings.Split(*epsFlag, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: bad -eps value %q: %v\n", tok, err)
+				os.Exit(2)
+			}
+			cfg.Eps = append(cfg.Eps, v)
+		}
+	}
+
+	ids := []string{*figure}
+	if *figure == "all" {
+		ids = experiment.Figures()
+	}
+	fmt.Println("figure,panel,series,x,value")
+	for _, id := range ids {
+		start := time.Now()
+		fmt.Fprintf(os.Stderr, "== running %s ==\n", id)
+		if _, err := experiment.Run(id, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s failed: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "== %s done in %v ==\n", id, time.Since(start))
+	}
+}

@@ -1,0 +1,160 @@
+// Command privbayes synthesizes a differentially private copy of a CSV
+// dataset end to end: infer a schema (or accept one), fit a PrivBayes
+// model, sample, and write the synthetic CSV.
+//
+// Usage:
+//
+//	privbayes -in data.csv -out synthetic.csv -epsilon 1.0
+//	privbayes -in data.csv -out syn.csv -epsilon 0.2 -bins 16 -seed 7
+//
+// Schema inference: a column whose every value parses as a float and
+// that has more distinct values than -bins is treated as continuous with
+// -bins equi-width bins; every other column is categorical with its
+// observed labels as the domain.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+
+	"privbayes"
+)
+
+func main() {
+	var (
+		in      = flag.String("in", "", "input CSV file with a header row (required)")
+		out     = flag.String("out", "", "output CSV file (required)")
+		epsilon = flag.Float64("epsilon", 1.0, "total differential-privacy budget ε")
+		beta    = flag.Float64("beta", 0.3, "budget fraction for network learning")
+		theta   = flag.Float64("theta", 4, "θ-usefulness threshold")
+		bins    = flag.Int("bins", 16, "bins for continuous attributes")
+		rows    = flag.Int("rows", 0, "synthetic rows to emit (0 = same as input)")
+		seed    = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	if *in == "" || *out == "" {
+		fmt.Fprintln(os.Stderr, "privbayes: -in and -out are required")
+		os.Exit(2)
+	}
+	if err := run(*in, *out, *epsilon, *beta, *theta, *bins, *rows, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "privbayes:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, out string, epsilon, beta, theta float64, bins, rows int, seed int64) error {
+	f, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	header, records, err := readAll(f)
+	if err != nil {
+		return err
+	}
+	if len(records) == 0 {
+		return fmt.Errorf("%s has no data rows", in)
+	}
+
+	attrs := inferSchema(header, records, bins)
+	ds := privbayes.NewDataset(attrs)
+	rec := make([]uint16, len(attrs))
+	for _, cells := range records {
+		for c := range attrs {
+			a := &attrs[c]
+			if a.Kind == privbayes.Continuous {
+				v, err := strconv.ParseFloat(cells[c], 64)
+				if err != nil {
+					return fmt.Errorf("column %s: %v", a.Name, err)
+				}
+				rec[c] = uint16(a.Bin(v))
+			} else {
+				rec[c] = uint16(a.Code(cells[c]))
+			}
+		}
+		ds.Append(rec)
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	model, err := privbayes.Fit(ds, privbayes.Options{
+		Epsilon: epsilon, Beta: beta, Theta: theta, Rand: rng,
+	})
+	if err != nil {
+		return err
+	}
+	if rows <= 0 {
+		rows = ds.N()
+	}
+	syn := model.Sample(rows, rng)
+
+	of, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer of.Close()
+	if err := syn.WriteCSV(of); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d synthetic rows (%d attributes) to %s under ε=%g\n",
+		syn.N(), syn.D(), out, epsilon)
+	return nil
+}
+
+func readAll(r io.Reader) (header []string, records [][]string, err error) {
+	cr := csv.NewReader(r)
+	header, err = cr.Read()
+	if err != nil {
+		return nil, nil, fmt.Errorf("read header: %w", err)
+	}
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		records = append(records, rec)
+	}
+	return header, records, nil
+}
+
+func inferSchema(header []string, records [][]string, bins int) []privbayes.Attribute {
+	attrs := make([]privbayes.Attribute, len(header))
+	for c, name := range header {
+		numeric := true
+		min, max := 0.0, 0.0
+		distinct := map[string]bool{}
+		for i, rec := range records {
+			distinct[rec[c]] = true
+			v, err := strconv.ParseFloat(rec[c], 64)
+			if err != nil {
+				numeric = false
+				continue
+			}
+			if i == 0 || v < min {
+				min = v
+			}
+			if i == 0 || v > max {
+				max = v
+			}
+		}
+		if numeric && len(distinct) > bins {
+			attrs[c] = privbayes.NewContinuous(name, min, max, bins)
+			continue
+		}
+		labels := make([]string, 0, len(distinct))
+		for l := range distinct {
+			labels = append(labels, l)
+		}
+		sort.Strings(labels)
+		attrs[c] = privbayes.NewCategorical(name, labels)
+	}
+	return attrs
+}

@@ -1,0 +1,58 @@
+// Classification: train multiple SVM classifiers from one private
+// release — the paper's second evaluation task (Section 6.6). Four
+// classifiers are trained on a single synthetic dataset released from
+// Adult-shaped census data, and compared against training on the real
+// data with no privacy.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"privbayes"
+	"privbayes/internal/data"
+	"privbayes/internal/svm"
+	"privbayes/internal/workload"
+)
+
+func main() {
+	spec, _ := data.ByName("Adult")
+	ds := spec.GenerateN(20_000)
+	rng := rand.New(rand.NewSource(3))
+	train, test := ds.Split(0.8, rng)
+	fmt.Printf("dataset: Adult-shaped, %d train / %d test rows\n", train.N(), test.N())
+
+	// One private release serves all four downstream tasks — no extra
+	// privacy cost per classifier.
+	const eps = 0.8
+	syn, err := privbayes.Synthesize(train, privbayes.Options{Epsilon: eps, Rand: rng})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("released one synthetic dataset under ε = %g\n\n", eps)
+
+	tasks, err := workload.Tasks("Adult")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("task        synthetic-MCR   real-data-MCR")
+	for _, task := range tasks {
+		target, err := task.TargetIndex(train)
+		if err != nil {
+			panic(err)
+		}
+		testProb := svm.Featurize(test, target, task.Positive)
+
+		synProb := svm.Featurize(syn, target, task.Positive)
+		mSyn := svm.TrainHinge(synProb, 1, 3, rng)
+
+		realProb := svm.Featurize(train, target, task.Positive)
+		mReal := svm.TrainHinge(realProb, 1, 3, rng)
+
+		fmt.Printf("%-12s %12.3f   %13.3f\n", task.Name,
+			svm.MisclassificationRate(mSyn, testProb),
+			svm.MisclassificationRate(mReal, testProb))
+	}
+	fmt.Println("\nAll four classifiers come from the same ε-DP release; methods that")
+	fmt.Println("train classifiers directly must split ε across tasks.")
+}

@@ -1,0 +1,37 @@
+// Marginals: the paper's count-query workload on the NLTCS-shaped
+// survey data. Releases a synthetic dataset at several privacy budgets
+// and reports the average variation distance of all 3-way marginals,
+// next to the naive Laplace baseline — a miniature of Figure 12(a).
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"privbayes"
+	"privbayes/internal/baseline"
+	"privbayes/internal/data"
+	"privbayes/internal/workload"
+)
+
+func main() {
+	spec, _ := data.ByName("NLTCS")
+	ds := spec.GenerateN(10_000)
+	fmt.Printf("dataset: %s-shaped, %d rows, %d binary attributes\n\n", spec.Name, ds.N(), ds.D())
+
+	eval := workload.NewEvaluator(ds, 3, 0, nil) // all C(16,3) = 560 subsets
+	fmt.Println("epsilon   PrivBayes-AVD   Laplace-AVD   Uniform-AVD")
+	uniform := eval.AVD(&baseline.Uniform{DS: ds})
+	for _, eps := range []float64{0.1, 0.4, 1.6} {
+		rng := rand.New(rand.NewSource(11))
+		syn, err := privbayes.Synthesize(ds, privbayes.Options{Epsilon: eps, Rand: rng})
+		if err != nil {
+			panic(err)
+		}
+		pb := eval.AVD(&baseline.Dataset{DS: syn})
+		lap := eval.AVD(baseline.NewLaplace(ds, 3, eps, rng))
+		fmt.Printf("%7.2f   %13.4f   %11.4f   %11.4f\n", eps, pb, lap, uniform)
+	}
+	fmt.Println("\nPrivBayes degrades gracefully as ε shrinks; Laplace noise drowns")
+	fmt.Println("the 560-marginal workload long before that.")
+}

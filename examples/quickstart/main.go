@@ -1,0 +1,106 @@
+// Quickstart: build a small dataset in code, release a differentially
+// private synthetic copy with the top-level API, and compare a few
+// statistics before and after.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"privbayes"
+)
+
+func main() {
+	// A toy HR table: four attributes, one of them continuous.
+	attrs := []privbayes.Attribute{
+		privbayes.NewCategorical("department", []string{"eng", "sales", "support", "hr"}),
+		privbayes.NewCategorical("remote", []string{"no", "yes"}),
+		privbayes.NewCategorical("senior", []string{"no", "yes"}),
+		privbayes.NewContinuous("salary", 40_000, 200_000, 16),
+	}
+	ds := privbayes.NewDataset(attrs)
+
+	// Populate with correlated records: engineering skews senior,
+	// senior skews high salary, engineering skews remote.
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 20_000; i++ {
+		dept := rng.Intn(4)
+		senior := 0
+		if rng.Float64() < 0.25+0.3*b2f(dept == 0) {
+			senior = 1
+		}
+		remote := 0
+		if rng.Float64() < 0.2+0.4*b2f(dept == 0) {
+			remote = 1
+		}
+		salary := 50_000 + 40_000*float64(senior) + 20_000*b2f(dept == 0) + rng.Float64()*30_000
+		ds.Append([]uint16{
+			uint16(dept), uint16(remote), uint16(senior),
+			uint16(attrs[3].Bin(salary)),
+		})
+	}
+
+	// One call releases an ε-differentially-private synthetic copy.
+	syn, err := privbayes.Synthesize(ds, privbayes.Options{
+		Epsilon: 1.0,
+		Rand:    rng,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("input rows: %d, synthetic rows: %d (ε = 1.0)\n\n", ds.N(), syn.N())
+	fmt.Println("statistic                     real    synthetic")
+	show := func(name string, f func(*privbayes.Dataset) float64) {
+		fmt.Printf("%-28s %6.3f    %6.3f\n", name, f(ds), f(syn))
+	}
+	show("P(remote)", func(d *privbayes.Dataset) float64 { return frac(d, 1, 1) })
+	show("P(senior)", func(d *privbayes.Dataset) float64 { return frac(d, 2, 1) })
+	show("P(senior | eng)", func(d *privbayes.Dataset) float64 { return condFrac(d, 2, 1, 0, 0) })
+	show("P(senior | sales)", func(d *privbayes.Dataset) float64 { return condFrac(d, 2, 1, 0, 1) })
+	show("P(salary top half)", func(d *privbayes.Dataset) float64 {
+		c := 0
+		for r := 0; r < d.N(); r++ {
+			if d.Value(r, 3) >= 8 {
+				c++
+			}
+		}
+		return float64(c) / float64(d.N())
+	})
+	fmt.Println("\nThe conditional structure (seniority more likely in eng) survives")
+	fmt.Println("the private release, which is exactly what PrivBayes is for.")
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func frac(d *privbayes.Dataset, col, val int) float64 {
+	c := 0
+	for r := 0; r < d.N(); r++ {
+		if d.Value(r, col) == val {
+			c++
+		}
+	}
+	return float64(c) / float64(d.N())
+}
+
+func condFrac(d *privbayes.Dataset, col, val, givenCol, givenVal int) float64 {
+	c, tot := 0, 0
+	for r := 0; r < d.N(); r++ {
+		if d.Value(r, givenCol) != givenVal {
+			continue
+		}
+		tot++
+		if d.Value(r, col) == val {
+			c++
+		}
+	}
+	if tot == 0 {
+		return 0
+	}
+	return float64(c) / float64(tot)
+}

@@ -1,0 +1,32 @@
+package baseline
+
+// WHT computes the (unnormalized) Walsh–Hadamard transform of a slice
+// whose length is a power of two, in place:
+//
+//	out[S] = Σ_t in[t] · (−1)^{|S ∧ t|}
+//
+// Applying the transform twice multiplies by len(p), which gives the
+// inverse: x = WHT(WHT(x)) / len(x).
+func WHT(p []float64) {
+	n := len(p)
+	if n&(n-1) != 0 {
+		panic("baseline: WHT length must be a power of two")
+	}
+	for h := 1; h < n; h *= 2 {
+		for i := 0; i < n; i += 2 * h {
+			for j := i; j < i+h; j++ {
+				x, y := p[j], p[j+h]
+				p[j], p[j+h] = x+y, x-y
+			}
+		}
+	}
+}
+
+// InverseWHT inverts WHT.
+func InverseWHT(p []float64) {
+	WHT(p)
+	inv := 1 / float64(len(p))
+	for i := range p {
+		p[i] *= inv
+	}
+}

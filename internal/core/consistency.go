@@ -1,0 +1,116 @@
+package core
+
+import "privbayes/internal/marginal"
+
+// EnforceConsistency post-processes a set of noisy AP-pair joints so
+// that they agree on every shared variable — the optimization footnote 1
+// of the paper points at ("we could apply additional post-processing of
+// distributions, in the spirit of [2, 17, 27], to reflect the fact that
+// lower degree distributions should be consistent").
+//
+// Independent Laplace noise leaves two joints that share an attribute
+// with different implied 1-way marginals for it. For each variable that
+// appears in at least two joints, the implied marginals are averaged —
+// averaging independent noisy estimates reduces their variance — and
+// each joint is rescaled (one iterative-proportional-fitting step per
+// variable) to match the consensus. A few sweeps propagate the
+// adjustments; each table remains a normalized distribution throughout.
+//
+// This costs no privacy budget: it only reads the already-noised joints.
+func EnforceConsistency(joints []*marginal.Table, sweeps int) {
+	if sweeps <= 0 {
+		sweeps = 3
+	}
+	// Collect the variables appearing in multiple joints.
+	type occurrence struct {
+		table int
+		pos   int
+	}
+	occs := make(map[marginal.Var][]occurrence)
+	for ti, t := range joints {
+		for pi, v := range t.Vars {
+			occs[v] = append(occs[v], occurrence{table: ti, pos: pi})
+		}
+	}
+	type sharedVar struct {
+		v    marginal.Var
+		list []occurrence
+	}
+	var shared []sharedVar
+	for v, list := range occs {
+		if len(list) > 1 {
+			shared = append(shared, sharedVar{v, list})
+		}
+	}
+	// Deterministic sweep order (map iteration is randomized).
+	for i := 1; i < len(shared); i++ {
+		for j := i; j > 0 && less(shared[j].v, shared[j-1].v); j-- {
+			shared[j], shared[j-1] = shared[j-1], shared[j]
+		}
+	}
+
+	for s := 0; s < sweeps; s++ {
+		for _, sv := range shared {
+			dim := dimOf(joints[sv.list[0].table], sv.list[0].pos)
+			consensus := make([]float64, dim)
+			margs := make([][]float64, len(sv.list))
+			for i, oc := range sv.list {
+				m := projectVar(joints[oc.table], oc.pos)
+				margs[i] = m
+				for c, p := range m {
+					consensus[c] += p
+				}
+			}
+			inv := 1 / float64(len(sv.list))
+			for c := range consensus {
+				consensus[c] *= inv
+			}
+			for i, oc := range sv.list {
+				scaleVar(joints[oc.table], oc.pos, margs[i], consensus)
+			}
+		}
+	}
+}
+
+func less(a, b marginal.Var) bool {
+	if a.Attr != b.Attr {
+		return a.Attr < b.Attr
+	}
+	return a.Level < b.Level
+}
+
+func dimOf(t *marginal.Table, pos int) int { return t.Dims[pos] }
+
+// projectVar computes the 1-way marginal of the variable at pos.
+func projectVar(t *marginal.Table, pos int) []float64 {
+	dim := t.Dims[pos]
+	stride := 1
+	for i := len(t.Dims) - 1; i > pos; i-- {
+		stride *= t.Dims[i]
+	}
+	out := make([]float64, dim)
+	for idx, p := range t.P {
+		out[idx/stride%dim] += p
+	}
+	return out
+}
+
+// scaleVar rescales each slice of the variable at pos so its marginal
+// moves from current to target. Zero-mass slices receive the target mass
+// spread uniformly, so no probability is silently dropped.
+func scaleVar(t *marginal.Table, pos int, current, target []float64) {
+	dim := t.Dims[pos]
+	stride := 1
+	for i := len(t.Dims) - 1; i > pos; i-- {
+		stride *= t.Dims[i]
+	}
+	sliceCells := len(t.P) / dim
+	for idx := range t.P {
+		c := idx / stride % dim
+		if current[c] > 0 {
+			t.P[idx] *= target[c] / current[c]
+		} else {
+			t.P[idx] = target[c] / float64(sliceCells)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+// Package core implements the PrivBayes pipeline itself: differentially
+// private Bayesian network construction (Algorithms 2 and 4), noisy
+// conditional generation (Algorithms 1 and 3), θ-usefulness degree
+// selection (Section 4.5), and synthetic data sampling (Section 3).
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"privbayes/internal/dataset"
+	"privbayes/internal/infotheory"
+	"privbayes/internal/marginal"
+	"privbayes/internal/score"
+)
+
+// APPair is one attribute-parent pair (Xᵢ, Πᵢ) of a Bayesian network.
+// The child X is always at raw generalization level; parents may be
+// generalized when hierarchical encoding is in use.
+type APPair struct {
+	X       marginal.Var
+	Parents []marginal.Var
+}
+
+// Vars returns the joint layout [Parents..., X] used for marginal
+// materialization, so conditional blocks over X are contiguous.
+func (p APPair) Vars() []marginal.Var {
+	return append(append([]marginal.Var(nil), p.Parents...), p.X)
+}
+
+// Network is a Bayesian network N over the attributes of a dataset,
+// as an ordered list of AP pairs: pair i may only use attributes of
+// pairs j < i as parents, which makes N a DAG by construction.
+type Network struct {
+	Pairs []APPair
+}
+
+// Degree returns the maximum parent-set size (the paper's k).
+func (n *Network) Degree() int {
+	k := 0
+	for _, p := range n.Pairs {
+		if len(p.Parents) > k {
+			k = len(p.Parents)
+		}
+	}
+	return k
+}
+
+// SumMI returns Σᵢ I(Xᵢ, Πᵢ) measured on the dataset — the network
+// quality metric of Figure 4.
+func (n *Network) SumMI(ds *dataset.Dataset) float64 {
+	var sum float64
+	for _, p := range n.Pairs {
+		joint := marginal.Materialize(ds, p.Vars())
+		sum += infotheory.MutualInformationSplit(joint)
+	}
+	return sum
+}
+
+// Validate checks the structural invariants from Section 2.2: every
+// attribute appears exactly once as a child, and every parent refers to
+// an earlier child.
+func (n *Network) Validate(d int) error {
+	if len(n.Pairs) != d {
+		return fmt.Errorf("core: network has %d pairs, dataset has %d attributes", len(n.Pairs), d)
+	}
+	seen := make(map[int]int) // attribute -> position
+	for i, p := range n.Pairs {
+		if _, dup := seen[p.X.Attr]; dup {
+			return fmt.Errorf("core: attribute %d is the child of two AP pairs", p.X.Attr)
+		}
+		if p.X.Level != 0 {
+			return fmt.Errorf("core: child attribute %d modeled at generalized level %d", p.X.Attr, p.X.Level)
+		}
+		seen[p.X.Attr] = i
+		for _, par := range p.Parents {
+			j, ok := seen[par.Attr]
+			if !ok || j >= i {
+				return fmt.Errorf("core: pair %d uses parent %d before it is modeled", i, par.Attr)
+			}
+		}
+	}
+	return nil
+}
+
+// String renders the network like Table 1 of the paper.
+func (n *Network) String() string {
+	var b strings.Builder
+	for i, p := range n.Pairs {
+		fmt.Fprintf(&b, "%d: X=%v Π=%v\n", i+1, p.X, p.Parents)
+	}
+	return b.String()
+}
+
+// Model is a fitted PrivBayes model: the network plus one noisy
+// conditional distribution per AP pair, sufficient to sample synthetic
+// data without touching the original dataset again.
+type Model struct {
+	Network Network
+	Conds   []*marginal.Conditional
+	Attrs   []dataset.Attribute
+	// K is the degree used (binary mode) or -1 in general mode where
+	// θ-usefulness caps domain sizes instead of a single k.
+	K int
+	// Score records which score function selected the AP pairs.
+	Score score.Function
+}

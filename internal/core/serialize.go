@@ -1,0 +1,66 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// modelJSON is the on-disk representation of a fitted model. Only the
+// noisy model is persisted — never the sensitive data — so a stored
+// model carries exactly the ε-DP release and can be resampled freely.
+type modelJSON struct {
+	Version int     `json:"version"`
+	Model   *Model  `json:"model"`
+	Epsilon float64 `json:"epsilon,omitempty"`
+}
+
+// modelVersion guards the serialization format.
+const modelVersion = 1
+
+// WriteJSON persists the model. The optional epsilon records the budget
+// the model was fitted under, purely as metadata for downstream users.
+func (m *Model) WriteJSON(w io.Writer, epsilon float64) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(modelJSON{Version: modelVersion, Model: m, Epsilon: epsilon})
+}
+
+// ReadModelJSON loads a model persisted by WriteJSON and revalidates its
+// structural invariants before returning it.
+func ReadModelJSON(r io.Reader) (*Model, float64, error) {
+	var in modelJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, 0, fmt.Errorf("core: decode model: %w", err)
+	}
+	if in.Version != modelVersion {
+		return nil, 0, fmt.Errorf("core: unsupported model version %d", in.Version)
+	}
+	m := in.Model
+	if m == nil {
+		return nil, 0, fmt.Errorf("core: empty model document")
+	}
+	if err := m.Network.Validate(len(m.Attrs)); err != nil {
+		return nil, 0, fmt.Errorf("core: persisted network invalid: %w", err)
+	}
+	if len(m.Conds) != len(m.Network.Pairs) {
+		return nil, 0, fmt.Errorf("core: %d conditionals for %d pairs", len(m.Conds), len(m.Network.Pairs))
+	}
+	for i, c := range m.Conds {
+		pair := m.Network.Pairs[i]
+		if c.X != pair.X {
+			return nil, 0, fmt.Errorf("core: conditional %d is for %v, pair expects %v", i, c.X, pair.X)
+		}
+		want := m.Attrs[pair.X.Attr].Size()
+		if c.XDim != want {
+			return nil, 0, fmt.Errorf("core: conditional %d has XDim %d, attribute domain is %d", i, c.XDim, want)
+		}
+		blocks := 1
+		for _, d := range c.PDims {
+			blocks *= d
+		}
+		if blocks*c.XDim != len(c.P) {
+			return nil, 0, fmt.Errorf("core: conditional %d has %d cells, want %d", i, len(c.P), blocks*c.XDim)
+		}
+	}
+	return m, in.Epsilon, nil
+}

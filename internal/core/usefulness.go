@@ -1,0 +1,38 @@
+package core
+
+import "math"
+
+// Usefulness returns the θ-usefulness of the noisy (k+1)-dimensional
+// binary marginals produced by Algorithm 1 (Lemma 4.8):
+//
+//	θ = n·ε₂ / ((d−k) · 2^(k+2))
+//
+// the ratio of average per-cell information mass to average Laplace
+// noise magnitude.
+func Usefulness(n, d, k int, eps2 float64) float64 {
+	return float64(n) * eps2 / (float64(d-k) * math.Pow(2, float64(k+2)))
+}
+
+// ChooseK picks the largest degree k ∈ [0, d−1] whose noisy marginals
+// remain θ-useful (Section 4.5). When even k = 0 fails the criterion the
+// minimum value 0 is used, modeling all attributes as (nearly)
+// independent.
+func ChooseK(n, d int, eps2, theta float64) int {
+	best := 0
+	for k := d - 1; k >= 1; k-- {
+		if Usefulness(n, d, k, eps2) >= theta {
+			best = k
+			break
+		}
+	}
+	return best
+}
+
+// GeneralDomainCap returns the θ-usefulness cap on the number of cells of
+// an AP-pair marginal in general-domain mode (Section 5.2): Pr[X, Π] is
+// θ-useful only if its cell count m satisfies m ≤ n·ε₂/(2dθ). The
+// eligible parent sets for child X are therefore those with domain size
+// at most n·ε₂/(2dθ|dom(X)|).
+func GeneralDomainCap(n, d int, eps2, theta float64) float64 {
+	return float64(n) * eps2 / (2 * float64(d) * theta)
+}

@@ -1,0 +1,163 @@
+package data
+
+import (
+	"math"
+	"testing"
+
+	"privbayes/internal/infotheory"
+	"privbayes/internal/marginal"
+)
+
+// Table 5 of the paper: cardinality, dimensionality and total domain
+// size of the four evaluation datasets.
+func TestSpecsMatchTable5(t *testing.T) {
+	want := []struct {
+		name    string
+		n, d    int
+		minLog2 float64
+		maxLog2 float64
+	}{
+		{"NLTCS", 21574, 16, 16, 16},
+		{"ACS", 47461, 23, 23, 23},
+		{"Adult", 45222, 15, 45, 55},  // paper: ≈ 2^52
+		{"BR2000", 38000, 14, 30, 36}, // paper: ≈ 2^32
+	}
+	specs := Specs()
+	if len(specs) != len(want) {
+		t.Fatalf("got %d specs", len(specs))
+	}
+	for i, w := range want {
+		s := specs[i]
+		if s.Name != w.name || s.N != w.n {
+			t.Errorf("spec %d: %s/%d, want %s/%d", i, s.Name, s.N, w.name, w.n)
+		}
+		attrs := s.Attrs()
+		if len(attrs) != w.d {
+			t.Errorf("%s: %d attributes, want %d", w.name, len(attrs), w.d)
+		}
+		var log2 float64
+		for _, a := range attrs {
+			log2 += math.Log2(float64(a.Size()))
+		}
+		if log2 < w.minLog2 || log2 > w.maxLog2 {
+			t.Errorf("%s: domain 2^%.1f outside [%v, %v]", w.name, log2, w.minLog2, w.maxLog2)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("NLTCS"); !ok {
+		t.Error("NLTCS missing")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("unknown name should fail")
+	}
+}
+
+func TestGenerationDeterministic(t *testing.T) {
+	spec, _ := ByName("NLTCS")
+	a := spec.GenerateN(200)
+	b := spec.GenerateN(200)
+	for r := 0; r < 200; r++ {
+		for c := 0; c < a.D(); c++ {
+			if a.Value(r, c) != b.Value(r, c) {
+				t.Fatalf("generation not deterministic at (%d,%d)", r, c)
+			}
+		}
+	}
+}
+
+func TestGenerateNPrefixProperty(t *testing.T) {
+	// Same ground truth: a shorter generation is a prefix of a longer
+	// one (the RNG stream is consumed in row order).
+	spec, _ := ByName("ACS")
+	short := spec.GenerateN(50)
+	long := spec.GenerateN(100)
+	for r := 0; r < 50; r++ {
+		for c := 0; c < short.D(); c++ {
+			if short.Value(r, c) != long.Value(r, c) {
+				t.Fatalf("row %d differs between n=50 and n=100 generations", r)
+			}
+		}
+	}
+}
+
+// The ground truth must actually contain correlations — otherwise the
+// network-learning experiments are vacuous.
+func TestGeneratedDataHasCorrelations(t *testing.T) {
+	for _, name := range []string{"NLTCS", "ACS", "Adult", "BR2000"} {
+		spec, _ := ByName(name)
+		ds := spec.GenerateN(8000)
+		best := 0.0
+		for i := 0; i < ds.D(); i++ {
+			for j := i + 1; j < ds.D(); j++ {
+				joint := marginal.Materialize(ds, []marginal.Var{{Attr: i}, {Attr: j}})
+				if mi := infotheory.MutualInformationSplit(joint); mi > best {
+					best = mi
+				}
+			}
+		}
+		if best < 0.05 {
+			t.Errorf("%s: strongest pairwise MI = %v, want >= 0.05", name, best)
+		}
+	}
+}
+
+// Hierarchies in every schema must be internally consistent (covered
+// codes, refinement across levels) — NewHierarchy panics otherwise, so
+// building the schemas is itself the assertion; here we additionally
+// check every taxonomy level shrinks the domain.
+func TestSchemasHierarchiesShrink(t *testing.T) {
+	for _, spec := range Specs() {
+		for _, a := range spec.Attrs() {
+			if a.Hierarchy == nil {
+				continue
+			}
+			for lvl := 1; lvl < a.Height(); lvl++ {
+				if a.SizeAt(lvl) >= a.SizeAt(lvl-1) {
+					t.Errorf("%s/%s: level %d size %d does not shrink from %d",
+						spec.Name, a.Name, lvl, a.SizeAt(lvl), a.SizeAt(lvl-1))
+				}
+			}
+		}
+	}
+}
+
+// The classification target attributes must exist with binary-friendly
+// positive classes; checked here so workload tests cannot drift from
+// schema changes.
+func TestClassificationTargetsPresent(t *testing.T) {
+	targets := map[string][]string{
+		"NLTCS":  {"outside", "traveling", "bathing", "money"},
+		"ACS":    {"dwelling", "mortgage", "multigen", "school"},
+		"Adult":  {"sex", "salary", "education", "marital"},
+		"BR2000": {"religion", "car", "children", "age"},
+	}
+	for name, names := range targets {
+		spec, _ := ByName(name)
+		attrs := spec.Attrs()
+		for _, want := range names {
+			found := false
+			for _, a := range attrs {
+				if a.Name == want {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("%s: target attribute %q missing", name, want)
+			}
+		}
+	}
+}
+
+func TestGenerateFullCardinality(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-cardinality generation in -short mode")
+	}
+	spec, _ := ByName("NLTCS")
+	ds := spec.Generate()
+	if ds.N() != spec.N {
+		t.Errorf("N = %d, want %d", ds.N(), spec.N)
+	}
+}

@@ -1,0 +1,194 @@
+package data
+
+import "privbayes/internal/dataset"
+
+// nltcsAttrs mirrors the National Long Term Care Survey extract: 16
+// binary disability indicators, total domain 2^16 (Table 5). The four
+// attributes used as classification targets in Section 6.1 keep the
+// paper's names.
+func nltcsAttrs() []dataset.Attribute {
+	names := []string{
+		"outside", "money", "bathing", "traveling",
+		"dressing", "eating", "grooming", "inside",
+		"cooking", "shopping", "laundry", "light_housework",
+		"heavy_housework", "toileting", "bed_transfer", "medicine",
+	}
+	attrs := make([]dataset.Attribute, len(names))
+	for i, n := range names {
+		attrs[i] = dataset.NewCategorical(n, []string{"able", "unable"})
+	}
+	return attrs
+}
+
+// acsAttrs mirrors the 2013/2014 ACS (IPUMS-USA) extract: 23 binary
+// attributes, total domain 2^23. Classification targets: dwelling,
+// mortgage, multigen, school.
+func acsAttrs() []dataset.Attribute {
+	names := []string{
+		"dwelling", "mortgage", "multigen", "school",
+		"sex", "employed", "married", "veteran",
+		"disability", "medicare", "medicaid", "citizen",
+		"english", "moved", "farm", "business",
+		"retirement_income", "ss_income", "poverty", "insurance",
+		"internet", "vehicle", "grandchildren",
+	}
+	attrs := make([]dataset.Attribute, len(names))
+	for i, n := range names {
+		attrs[i] = dataset.NewCategorical(n, []string{"no", "yes"})
+	}
+	return attrs
+}
+
+// adultAttrs mirrors the UCI Adult extract: 15 mixed attributes with a
+// total domain around 2^50 (the paper reports ≈2^52). Continuous
+// attributes use 16 equi-width bins (footnote 3: b = 16) with the
+// automatic binary taxonomy tree; categorical attributes carry taxonomy
+// trees derived from common knowledge, as in the paper's released data.
+func adultAttrs() []dataset.Attribute {
+	workclass := dataset.NewCategorical("workclass", []string{
+		"Self-emp-inc", "Self-emp-not-inc", "Federal-gov", "State-gov",
+		"Local-gov", "Private", "Without-pay", "Never-worked",
+	})
+	// Figure 3's tree: self-employed / government / private / unemployed.
+	workclass.Hierarchy = dataset.NewHierarchy(8, []int{0, 0, 1, 1, 1, 2, 3, 3})
+
+	education := dataset.NewCategorical("education", []string{
+		"Preschool", "1st-4th", "5th-6th", "7th-8th",
+		"9th", "10th", "11th", "12th",
+		"HS-grad", "Some-college", "Assoc-voc", "Assoc-acdm",
+		"Bachelors", "Masters", "Prof-school", "Doctorate",
+	})
+	// primary / secondary / college / post-secondary, then degree/no-degree.
+	education.Hierarchy = dataset.NewHierarchy(16,
+		[]int{0, 0, 0, 0, 1, 1, 1, 1, 1, 2, 2, 2, 3, 3, 3, 3},
+		[]int{0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1, 1},
+	)
+
+	marital := dataset.NewCategorical("marital", []string{
+		"Never-married", "Married-civ-spouse", "Married-AF-spouse",
+		"Married-spouse-absent", "Divorced", "Separated", "Widowed",
+	})
+	marital.Hierarchy = dataset.NewHierarchy(7, []int{0, 1, 1, 1, 2, 2, 2})
+
+	occupation := dataset.NewCategorical("occupation", []string{
+		"Tech-support", "Craft-repair", "Other-service", "Sales",
+		"Exec-managerial", "Prof-specialty", "Handlers-cleaners",
+		"Machine-op-inspct", "Adm-clerical", "Farming-fishing",
+		"Transport-moving", "Priv-house-serv", "Protective-serv",
+		"Armed-Forces",
+	})
+	occupation.Hierarchy = dataset.NewHierarchy(14,
+		[]int{0, 1, 2, 0, 0, 0, 1, 1, 0, 1, 1, 2, 2, 2})
+
+	relationship := dataset.NewCategorical("relationship", []string{
+		"Wife", "Own-child", "Husband", "Not-in-family",
+		"Other-relative", "Unmarried",
+	})
+	relationship.Hierarchy = dataset.NewHierarchy(6, []int{0, 0, 0, 1, 0, 1})
+
+	race := dataset.NewCategorical("race", []string{
+		"White", "Asian-Pac-Islander", "Amer-Indian-Eskimo", "Other", "Black",
+	})
+	race.Hierarchy = dataset.NewHierarchy(5, []int{0, 1, 1, 1, 1})
+
+	// 42 countries generalized to 8 regions, then 4 continent groups,
+	// in the spirit of the CIA World Factbook tree the paper cites.
+	countryNames := make([]string, 42)
+	regionOf := make([]int, 42)
+	continentOf := make([]int, 42)
+	regions := []struct {
+		continent int
+		count     int
+		name      string
+	}{
+		{0, 6, "NorthAmerica"}, {0, 6, "CentralAmerica"}, {0, 5, "Caribbean"},
+		{1, 6, "SouthAmerica"}, {2, 6, "WesternEurope"}, {2, 5, "EasternEurope"},
+		{3, 5, "EastAsia"}, {3, 3, "SouthAsia"},
+	}
+	idx := 0
+	for r, reg := range regions {
+		for c := 0; c < reg.count; c++ {
+			countryNames[idx] = regionName(reg.name, c)
+			regionOf[idx] = r
+			continentOf[idx] = reg.continent
+			idx++
+		}
+	}
+	country := dataset.NewCategorical("country", countryNames)
+	country.Hierarchy = dataset.NewHierarchy(42, regionOf, continentOf)
+
+	return []dataset.Attribute{
+		dataset.NewContinuous("age", 17, 90, 16),
+		workclass,
+		dataset.NewContinuous("fnlwgt", 1e4, 1.5e6, 16),
+		education,
+		dataset.NewContinuous("education_num", 1, 16, 16),
+		marital,
+		occupation,
+		relationship,
+		race,
+		dataset.NewCategorical("sex", []string{"Female", "Male"}),
+		dataset.NewContinuous("capital_gain", 0, 1e5, 16),
+		dataset.NewContinuous("capital_loss", 0, 4500, 16),
+		dataset.NewContinuous("hours", 1, 99, 16),
+		country,
+		dataset.NewCategorical("salary", []string{"<=50K", ">50K"}),
+	}
+}
+
+func regionName(region string, i int) string {
+	return region + "-" + string(rune('A'+i))
+}
+
+// br2000Attrs mirrors the Brazilian 2000 census extract: 14 mixed
+// attributes with total domain around 2^33 (paper: ≈2^32).
+// Classification targets: religion, car, children, age.
+func br2000Attrs() []dataset.Attribute {
+	religion := dataset.NewCategorical("religion", []string{
+		"Catholic", "Evangelical", "Protestant", "Spiritist",
+		"Afro-Brazilian", "Jewish", "Other", "None",
+	})
+	religion.Hierarchy = dataset.NewHierarchy(8,
+		[]int{0, 0, 0, 1, 1, 1, 1, 2},
+		[]int{0, 0, 0, 0, 0, 0, 0, 1},
+	)
+
+	stateNames := make([]string, 16)
+	stateRegion := make([]int, 16)
+	for i := range stateNames {
+		stateNames[i] = regionName("State", i)
+		stateRegion[i] = i / 4
+	}
+	state := dataset.NewCategorical("state", stateNames)
+	state.Hierarchy = dataset.NewHierarchy(16, stateRegion)
+
+	education := dataset.NewCategorical("education", []string{
+		"None", "Primary-incomplete", "Primary", "Secondary-incomplete",
+		"Secondary", "Tertiary-incomplete", "Tertiary", "Postgraduate",
+	})
+	education.Hierarchy = dataset.NewHierarchy(8, []int{0, 0, 0, 1, 1, 2, 2, 2})
+
+	marital := dataset.NewCategorical("marital", []string{
+		"Single", "Married", "Divorced", "Widowed",
+	})
+	marital.Hierarchy = dataset.NewHierarchy(4, []int{0, 1, 0, 0})
+
+	return []dataset.Attribute{
+		dataset.NewCategorical("gender", []string{"Female", "Male"}),
+		dataset.NewContinuous("age", 0, 96, 16),
+		religion,
+		dataset.NewCategorical("car", []string{"no", "yes"}),
+		dataset.NewContinuous("children", 0, 8, 8),
+		marital,
+		state,
+		education,
+		dataset.NewCategorical("employment", []string{
+			"Employed", "Unemployed", "Student", "Retired",
+		}),
+		dataset.NewContinuous("income", 0, 1.6e4, 16),
+		dataset.NewCategorical("urban", []string{"rural", "urban"}),
+		dataset.NewCategorical("literate", []string{"no", "yes"}),
+		dataset.NewContinuous("household", 1, 17, 16),
+		dataset.NewCategorical("migrant", []string{"no", "yes"}),
+	}
+}

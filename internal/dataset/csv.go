@@ -1,0 +1,88 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV writes the dataset with a header row, decoding each code back
+// to its label (categorical) or bin center (continuous).
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, d.D())
+	for i := range header {
+		header[i] = d.attrs[i].Name
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("dataset: write header: %w", err)
+	}
+	rec := make([]string, d.D())
+	for r := 0; r < d.n; r++ {
+		for c := 0; c < d.D(); c++ {
+			a := &d.attrs[c]
+			code := d.Value(r, c)
+			if a.Kind == Continuous {
+				rec[c] = strconv.FormatFloat(a.BinCenter(code), 'g', -1, 64)
+			} else {
+				rec[c] = a.Label(code)
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("dataset: write row %d: %w", r, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads records that match the given schema from CSV with a
+// header row. Categorical cells must be known labels; continuous cells
+// are parsed as floats and binned.
+func ReadCSV(r io.Reader, attrs []Attribute) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: read header: %w", err)
+	}
+	if len(header) != len(attrs) {
+		return nil, fmt.Errorf("dataset: header has %d columns, schema has %d", len(header), len(attrs))
+	}
+	for i, h := range header {
+		if h != attrs[i].Name {
+			return nil, fmt.Errorf("dataset: column %d is %q, schema expects %q", i, h, attrs[i].Name)
+		}
+	}
+	d := New(attrs)
+	rec := make([]uint16, len(attrs))
+	row := 0
+	for {
+		cells, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: read row %d: %w", row, err)
+		}
+		for c, cell := range cells {
+			a := &attrs[c]
+			if a.Kind == Continuous {
+				v, err := strconv.ParseFloat(cell, 64)
+				if err != nil {
+					return nil, fmt.Errorf("dataset: row %d, attribute %s: %w", row, a.Name, err)
+				}
+				rec[c] = uint16(a.Bin(v))
+			} else {
+				code := a.Code(cell)
+				if code < 0 {
+					return nil, fmt.Errorf("dataset: row %d, attribute %s: unknown label %q", row, a.Name, cell)
+				}
+				rec[c] = uint16(code)
+			}
+		}
+		d.Append(rec)
+		row++
+	}
+	return d, nil
+}

@@ -1,0 +1,150 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Dataset is a column-oriented table of encoded records. Each column
+// stores the code of the corresponding attribute for every row. Column
+// storage keeps marginal materialization (the hot loop of PrivBayes)
+// cache-friendly.
+type Dataset struct {
+	attrs []Attribute
+	cols  [][]uint16
+	n     int
+}
+
+// New creates an empty dataset with the given schema.
+func New(attrs []Attribute) *Dataset {
+	d := &Dataset{attrs: append([]Attribute(nil), attrs...)}
+	d.cols = make([][]uint16, len(attrs))
+	for i, a := range attrs {
+		if a.Size() > 1<<16 {
+			panic(fmt.Sprintf("dataset: attribute %s domain too large for uint16 codes", a.Name))
+		}
+		d.cols[i] = nil
+	}
+	return d
+}
+
+// NewWithCapacity creates an empty dataset preallocating room for n rows.
+func NewWithCapacity(attrs []Attribute, n int) *Dataset {
+	d := New(attrs)
+	for i := range d.cols {
+		d.cols[i] = make([]uint16, 0, n)
+	}
+	return d
+}
+
+// N returns the number of rows.
+func (d *Dataset) N() int { return d.n }
+
+// D returns the number of attributes (the paper's d).
+func (d *Dataset) D() int { return len(d.attrs) }
+
+// Attr returns the schema of column i.
+func (d *Dataset) Attr(i int) *Attribute { return &d.attrs[i] }
+
+// Attrs returns the full schema. The caller must not mutate it.
+func (d *Dataset) Attrs() []Attribute { return d.attrs }
+
+// AttrIndex returns the column index of the attribute with the given
+// name, or -1 if absent.
+func (d *Dataset) AttrIndex(name string) int {
+	for i := range d.attrs {
+		if d.attrs[i].Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Column returns the raw code column for attribute i. The caller must
+// not mutate it.
+func (d *Dataset) Column(i int) []uint16 { return d.cols[i] }
+
+// Value returns the code at (row, col).
+func (d *Dataset) Value(row, col int) int { return int(d.cols[col][row]) }
+
+// Append adds a record given as one code per attribute.
+func (d *Dataset) Append(rec []uint16) {
+	if len(rec) != len(d.attrs) {
+		panic(fmt.Sprintf("dataset: record has %d values, want %d", len(rec), len(d.attrs)))
+	}
+	for i, v := range rec {
+		if int(v) >= d.attrs[i].Size() {
+			panic(fmt.Sprintf("dataset: code %d out of range for attribute %s (size %d)", v, d.attrs[i].Name, d.attrs[i].Size()))
+		}
+		d.cols[i] = append(d.cols[i], v)
+	}
+	d.n++
+}
+
+// Record copies row i into dst (allocating when dst is short) and
+// returns it.
+func (d *Dataset) Record(i int, dst []uint16) []uint16 {
+	if cap(dst) < len(d.attrs) {
+		dst = make([]uint16, len(d.attrs))
+	}
+	dst = dst[:len(d.attrs)]
+	for c := range d.cols {
+		dst[c] = d.cols[c][i]
+	}
+	return dst
+}
+
+// Clone returns a deep copy.
+func (d *Dataset) Clone() *Dataset {
+	c := New(d.attrs)
+	c.n = d.n
+	for i := range d.cols {
+		c.cols[i] = append([]uint16(nil), d.cols[i]...)
+	}
+	return c
+}
+
+// Subset returns a new dataset containing only the given rows, in order.
+func (d *Dataset) Subset(rows []int) *Dataset {
+	s := NewWithCapacity(d.attrs, len(rows))
+	for i := range d.cols {
+		col := d.cols[i]
+		dst := s.cols[i][:0]
+		for _, r := range rows {
+			dst = append(dst, col[r])
+		}
+		s.cols[i] = dst
+	}
+	s.n = len(rows)
+	return s
+}
+
+// Sample returns a uniform random subsample of m rows without
+// replacement (m is clamped to N).
+func (d *Dataset) Sample(m int, rng *rand.Rand) *Dataset {
+	if m >= d.n {
+		return d.Clone()
+	}
+	perm := rng.Perm(d.n)[:m]
+	return d.Subset(perm)
+}
+
+// Split partitions the rows into a training set with the given fraction
+// and a test set with the remainder, after a seeded shuffle. The paper
+// uses an 80/20 split for the classification task.
+func (d *Dataset) Split(trainFrac float64, rng *rand.Rand) (train, test *Dataset) {
+	perm := rng.Perm(d.n)
+	cut := int(trainFrac * float64(d.n))
+	return d.Subset(perm[:cut]), d.Subset(perm[cut:])
+}
+
+// TotalDomainLog2 returns log2 of the product of attribute domain sizes
+// (the paper's "domain size" column of Table 5).
+func (d *Dataset) TotalDomainLog2() float64 {
+	var bits float64
+	for i := range d.attrs {
+		bits += math.Log2(float64(d.attrs[i].Size()))
+	}
+	return bits
+}

@@ -1,0 +1,91 @@
+package dataset
+
+import "fmt"
+
+// Hierarchy is a taxonomy tree over an attribute's codes (Section 5.1,
+// hierarchical encoding). Level 0 is the raw domain; each higher level
+// merges codes into coarser groups. Levels are stored as explicit maps
+// from raw code to generalized code, which supports arbitrary (not just
+// binary) trees such as workclass -> {self-employed, government, ...}.
+type Hierarchy struct {
+	levels [][]int // levels[l][rawCode] = code at level l; levels[0] is the identity
+	sizes  []int   // sizes[l] = number of distinct codes at level l
+}
+
+// NewHierarchy builds a hierarchy from per-level generalization maps.
+// maps[0] corresponds to level 1 (the first generalization above raw);
+// the identity level 0 is implicit. Each map must assign every raw code
+// a group id in [0, number of groups at that level), and groups must be
+// consistent with the previous level (codes in the same group at level l
+// stay together at level l+1).
+func NewHierarchy(rawSize int, maps ...[]int) *Hierarchy {
+	h := &Hierarchy{}
+	identity := make([]int, rawSize)
+	for i := range identity {
+		identity[i] = i
+	}
+	h.levels = [][]int{identity}
+	h.sizes = []int{rawSize}
+	prev := identity
+	for li, m := range maps {
+		if len(m) != rawSize {
+			panic(fmt.Sprintf("dataset: hierarchy level %d map has %d entries, want %d", li+1, len(m), rawSize))
+		}
+		size := 0
+		groupOf := make(map[int]int) // previous-level group -> this-level group
+		for raw, g := range m {
+			if g < 0 {
+				panic("dataset: negative group id in hierarchy")
+			}
+			if g+1 > size {
+				size = g + 1
+			}
+			if got, ok := groupOf[prev[raw]]; ok && got != g {
+				panic(fmt.Sprintf("dataset: hierarchy level %d splits group %d of level %d", li+1, prev[raw], li))
+			}
+			groupOf[prev[raw]] = g
+		}
+		h.levels = append(h.levels, append([]int(nil), m...))
+		h.sizes = append(h.sizes, size)
+		prev = m
+	}
+	return h
+}
+
+// BinaryHierarchy builds the paper's binary tree over b equi-width bins
+// (b must be a power of two): level l merges runs of 2^l consecutive bins.
+func BinaryHierarchy(b int) *Hierarchy {
+	if b < 2 || b&(b-1) != 0 {
+		panic("dataset: BinaryHierarchy requires a power-of-two bin count >= 2")
+	}
+	var maps [][]int
+	for w := 2; w < b; w *= 2 {
+		m := make([]int, b)
+		for i := range m {
+			m[i] = i / w
+		}
+		maps = append(maps, m)
+	}
+	return NewHierarchy(b, maps...)
+}
+
+// Height returns the number of levels, including the raw level 0. An
+// attribute with height h can be generalized to levels 0..h-1; the paper
+// writes this as i in [0, height(X)).
+func (h *Hierarchy) Height() int { return len(h.levels) }
+
+// SizeAt returns the number of distinct codes at a level.
+func (h *Hierarchy) SizeAt(level int) int {
+	if level < 0 || level >= len(h.sizes) {
+		panic(fmt.Sprintf("dataset: hierarchy level %d out of range [0,%d)", level, len(h.sizes)))
+	}
+	return h.sizes[level]
+}
+
+// Generalize maps a raw code to its code at the given level.
+func (h *Hierarchy) Generalize(level, code int) int {
+	if level < 0 || level >= len(h.levels) {
+		panic(fmt.Sprintf("dataset: hierarchy level %d out of range [0,%d)", level, len(h.levels)))
+	}
+	return h.levels[level][code]
+}

@@ -1,0 +1,100 @@
+package dataset
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBinaryHierarchyStructure(t *testing.T) {
+	h := BinaryHierarchy(8)
+	if h.Height() != 3 {
+		t.Fatalf("height = %d, want 3", h.Height())
+	}
+	if h.SizeAt(0) != 8 || h.SizeAt(1) != 4 || h.SizeAt(2) != 2 {
+		t.Errorf("sizes = %d,%d,%d", h.SizeAt(0), h.SizeAt(1), h.SizeAt(2))
+	}
+	// Level 1 merges pairs, level 2 merges quadruples.
+	for c := 0; c < 8; c++ {
+		if h.Generalize(1, c) != c/2 {
+			t.Errorf("level 1: Generalize(%d) = %d", c, h.Generalize(1, c))
+		}
+		if h.Generalize(2, c) != c/4 {
+			t.Errorf("level 2: Generalize(%d) = %d", c, h.Generalize(2, c))
+		}
+	}
+}
+
+func TestBinaryHierarchyRejectsNonPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-power-of-two")
+		}
+	}()
+	BinaryHierarchy(6)
+}
+
+func TestNewHierarchyConsistencyCheck(t *testing.T) {
+	// Level 2 splits level-1 group {0,1}: must panic.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for inconsistent levels")
+		}
+	}()
+	NewHierarchy(4,
+		[]int{0, 0, 1, 1},
+		[]int{0, 1, 1, 1}, // codes 0 and 1 were together at level 1
+	)
+}
+
+func TestNewHierarchyIdentityLevel(t *testing.T) {
+	h := NewHierarchy(5)
+	if h.Height() != 1 {
+		t.Fatalf("height = %d, want 1", h.Height())
+	}
+	for c := 0; c < 5; c++ {
+		if h.Generalize(0, c) != c {
+			t.Error("level 0 must be identity")
+		}
+	}
+}
+
+func TestNewHierarchyWrongMapLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong map length")
+		}
+	}()
+	NewHierarchy(4, []int{0, 0, 1})
+}
+
+// Generalization must be monotone: codes equal at a level stay equal at
+// every higher level.
+func TestGeneralizationMonotone(t *testing.T) {
+	h := NewHierarchy(6,
+		[]int{0, 0, 1, 1, 2, 2},
+		[]int{0, 0, 0, 0, 1, 1},
+	)
+	f := func(a, b uint8) bool {
+		x, y := int(a)%6, int(b)%6
+		for lvl := 0; lvl < h.Height()-1; lvl++ {
+			if h.Generalize(lvl, x) == h.Generalize(lvl, y) &&
+				h.Generalize(lvl+1, x) != h.Generalize(lvl+1, y) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSizeAtCountsDistinctGroups(t *testing.T) {
+	h := NewHierarchy(6,
+		[]int{0, 0, 1, 1, 2, 2},
+		[]int{0, 0, 0, 0, 1, 1},
+	)
+	if h.SizeAt(1) != 3 || h.SizeAt(2) != 2 {
+		t.Errorf("sizes = %d, %d; want 3, 2", h.SizeAt(1), h.SizeAt(2))
+	}
+}

@@ -1,0 +1,38 @@
+package dataset
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// hierarchyJSON is the serialized form of a Hierarchy: the per-level
+// generalization maps above the implicit identity level.
+type hierarchyJSON struct {
+	RawSize int     `json:"raw_size"`
+	Maps    [][]int `json:"maps"`
+}
+
+// MarshalJSON serializes the taxonomy tree so fitted models can be
+// persisted and reloaded.
+func (h *Hierarchy) MarshalJSON() ([]byte, error) {
+	out := hierarchyJSON{RawSize: h.sizes[0]}
+	for _, lvl := range h.levels[1:] {
+		out.Maps = append(out.Maps, lvl)
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON rebuilds the hierarchy, revalidating level consistency.
+func (h *Hierarchy) UnmarshalJSON(data []byte) (err error) {
+	var in hierarchyJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("dataset: invalid hierarchy: %v", r)
+		}
+	}()
+	*h = *NewHierarchy(in.RawSize, in.Maps...)
+	return nil
+}

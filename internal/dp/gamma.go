@@ -1,0 +1,65 @@
+package dp
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Gamma draws one Gamma(shape, scale) variate. Shapes >= 1 use the
+// Marsaglia–Tsang squeeze method; shapes in (0, 1) use the boost
+// Gamma(a) = Gamma(a+1) · U^(1/a). PrivateERM's objective perturbation
+// samples its noise-vector norm from a Gamma distribution, and the
+// synthetic data generators use Gamma draws to build Dirichlet
+// conditionals.
+func Gamma(rng *rand.Rand, shape, scale float64) float64 {
+	if shape <= 0 || scale <= 0 {
+		panic("dp: Gamma requires positive shape and scale")
+	}
+	if shape < 1 {
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		return Gamma(rng, shape+1, scale) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		var x, v float64
+		for {
+			x = rng.NormFloat64()
+			v = 1 + c*x
+			if v > 0 {
+				break
+			}
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return scale * d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return scale * d * v
+		}
+	}
+}
+
+// Dirichlet fills out with one draw from a symmetric Dirichlet(alpha)
+// distribution of dimension len(out).
+func Dirichlet(rng *rand.Rand, alpha float64, out []float64) {
+	var sum float64
+	for i := range out {
+		out[i] = Gamma(rng, alpha, 1)
+		sum += out[i]
+	}
+	if sum <= 0 {
+		u := 1 / float64(len(out))
+		for i := range out {
+			out[i] = u
+		}
+		return
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+}

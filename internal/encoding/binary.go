@@ -1,0 +1,97 @@
+package encoding
+
+import (
+	"fmt"
+
+	"privbayes/internal/dataset"
+)
+
+// Codec translates between an original schema and its binarized form,
+// remembering which bit columns belong to which original attribute.
+type Codec struct {
+	kind  Kind
+	attrs []dataset.Attribute // original schema
+	bits  []int               // bits per original attribute
+	start []int               // first bit column of each original attribute
+	total int
+}
+
+// NewCodec prepares a Binary or Gray codec for the schema.
+func NewCodec(kind Kind, attrs []dataset.Attribute) *Codec {
+	if kind != Binary && kind != Gray {
+		panic(fmt.Sprintf("encoding: NewCodec supports Binary and Gray, got %v", kind))
+	}
+	c := &Codec{kind: kind, attrs: append([]dataset.Attribute(nil), attrs...)}
+	for i := range c.attrs {
+		b := c.attrs[i].Bits()
+		c.start = append(c.start, c.total)
+		c.bits = append(c.bits, b)
+		c.total += b
+	}
+	return c
+}
+
+// BinarySchema returns the schema of the encoded dataset: one binary
+// attribute per bit, named after the source attribute and bit position
+// (most significant bit first).
+func (c *Codec) BinarySchema() []dataset.Attribute {
+	out := make([]dataset.Attribute, 0, c.total)
+	for i := range c.attrs {
+		for b := 0; b < c.bits[i]; b++ {
+			out = append(out, dataset.NewCategorical(
+				fmt.Sprintf("%s:b%d", c.attrs[i].Name, b), []string{"0", "1"}))
+		}
+	}
+	return out
+}
+
+// Encode rewrites a dataset over the original schema into the binary
+// schema.
+func (c *Codec) Encode(ds *dataset.Dataset) *dataset.Dataset {
+	out := dataset.NewWithCapacity(c.BinarySchema(), ds.N())
+	rec := make([]uint16, c.total)
+	for r := 0; r < ds.N(); r++ {
+		for a := range c.attrs {
+			v := ds.Value(r, a)
+			if c.kind == Gray {
+				v = GrayEncode(v)
+			}
+			for b := 0; b < c.bits[a]; b++ {
+				shift := uint(c.bits[a] - 1 - b)
+				rec[c.start[a]+b] = uint16((v >> shift) & 1)
+			}
+		}
+		out.Append(rec)
+	}
+	return out
+}
+
+// Decode rewrites a binary-schema dataset (typically synthetic) back to
+// the original schema. Bit patterns beyond an attribute's domain —
+// possible because ⌈log₂ ℓ⌉ bits cover up to 2^bits ≥ ℓ values and the
+// noisy model can emit any pattern — clamp to the top code, keeping the
+// output schema-valid.
+func (c *Codec) Decode(ds *dataset.Dataset) *dataset.Dataset {
+	if ds.D() != c.total {
+		panic(fmt.Sprintf("encoding: dataset has %d columns, codec expects %d", ds.D(), c.total))
+	}
+	out := dataset.NewWithCapacity(c.attrs, ds.N())
+	rec := make([]uint16, len(c.attrs))
+	for r := 0; r < ds.N(); r++ {
+		for a := range c.attrs {
+			v := 0
+			for b := 0; b < c.bits[a]; b++ {
+				v = v<<1 | ds.Value(r, c.start[a]+b)
+			}
+			if c.kind == Gray {
+				v = GrayDecode(v)
+			}
+			if max := c.attrs[a].Size() - 1; v > max {
+				v = max
+			}
+			rec[a] = uint16(v)
+		}
+		out.Append(rec)
+	}
+	return out
+}

@@ -1,0 +1,55 @@
+// Package encoding implements the four attribute encodings of
+// Section 5.1. Vanilla and Hierarchical operate on the original domains
+// (Hierarchical additionally exposes taxonomy-tree levels to the
+// network-learning phase, handled in internal/core); Binary and Gray
+// rewrite every attribute into ⌈log₂ ℓ⌉ binary attributes so the
+// SIGMOD'14 binary pipeline (score F, Algorithms 1-2) applies, and decode
+// the synthetic output back to the original schema.
+package encoding
+
+import "fmt"
+
+// Kind names an encoding scheme.
+type Kind int
+
+const (
+	// Vanilla keeps attributes intact with indivisible domains.
+	Vanilla Kind = iota
+	// Binary splits each attribute into natural-binary bit attributes.
+	Binary
+	// Gray splits each attribute into reflected-Gray-code bit
+	// attributes, so adjacent values differ in one bit.
+	Gray
+	// Hierarchical keeps attributes intact and lets the model
+	// generalize parents through taxonomy trees.
+	Hierarchical
+)
+
+// String names the encoding as in the paper's figures.
+func (k Kind) String() string {
+	switch k {
+	case Vanilla:
+		return "Vanilla"
+	case Binary:
+		return "Binary"
+	case Gray:
+		return "Gray"
+	case Hierarchical:
+		return "Hierarchical"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// GrayEncode maps a natural binary value to its reflected Gray code.
+func GrayEncode(v int) int { return v ^ (v >> 1) }
+
+// GrayDecode inverts GrayEncode.
+func GrayDecode(g int) int {
+	v := 0
+	for g != 0 {
+		v ^= g
+		g >>= 1
+	}
+	return v
+}

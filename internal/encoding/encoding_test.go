@@ -1,0 +1,138 @@
+package encoding
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"privbayes/internal/dataset"
+)
+
+func TestGrayCodeRoundTrip(t *testing.T) {
+	f := func(v uint16) bool {
+		return GrayDecode(GrayEncode(int(v))) == int(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// The defining property of Gray codes: successive values differ in
+// exactly one bit.
+func TestGrayAdjacentValuesDifferInOneBit(t *testing.T) {
+	for v := 0; v < 1024; v++ {
+		diff := GrayEncode(v) ^ GrayEncode(v+1)
+		if bits.OnesCount(uint(diff)) != 1 {
+			t.Fatalf("Gray(%d) and Gray(%d) differ in %d bits", v, v+1, bits.OnesCount(uint(diff)))
+		}
+	}
+}
+
+// Figure 2's example: the Gray sequence for 3 bits.
+func TestGrayPaperFigure2Sequence(t *testing.T) {
+	want := []int{0b000, 0b001, 0b011, 0b010, 0b110, 0b111, 0b101, 0b100}
+	for v, w := range want {
+		if got := GrayEncode(v); got != w {
+			t.Errorf("Gray(%d) = %03b, want %03b", v, got, w)
+		}
+	}
+}
+
+func mixedSchema() []dataset.Attribute {
+	return []dataset.Attribute{
+		dataset.NewCategorical("w", []string{"a", "b", "c", "d", "e"}), // 5 values, 3 bits
+		dataset.NewCategorical("x", []string{"0", "1"}),                // 1 bit
+		dataset.NewContinuous("y", 0, 16, 8),                           // 3 bits
+	}
+}
+
+func randomDataset(n int, seed int64) *dataset.Dataset {
+	ds := dataset.New(mixedSchema())
+	rng := rand.New(rand.NewSource(seed))
+	rec := make([]uint16, 3)
+	for i := 0; i < n; i++ {
+		rec[0] = uint16(rng.Intn(5))
+		rec[1] = uint16(rng.Intn(2))
+		rec[2] = uint16(rng.Intn(8))
+		ds.Append(rec)
+	}
+	return ds
+}
+
+func TestCodecSchema(t *testing.T) {
+	c := NewCodec(Binary, mixedSchema())
+	schema := c.BinarySchema()
+	if len(schema) != 3+1+3 {
+		t.Fatalf("binary schema has %d attributes, want 7", len(schema))
+	}
+	for _, a := range schema {
+		if a.Size() != 2 {
+			t.Fatalf("attribute %s not binary", a.Name)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, kind := range []Kind{Binary, Gray} {
+		ds := randomDataset(300, 7)
+		c := NewCodec(kind, ds.Attrs())
+		enc := c.Encode(ds)
+		if enc.N() != ds.N() {
+			t.Fatalf("%v: encoded N = %d", kind, enc.N())
+		}
+		dec := c.Decode(enc)
+		for r := 0; r < ds.N(); r++ {
+			for col := 0; col < ds.D(); col++ {
+				if dec.Value(r, col) != ds.Value(r, col) {
+					t.Fatalf("%v: cell (%d,%d) round trip %d -> %d",
+						kind, r, col, ds.Value(r, col), dec.Value(r, col))
+				}
+			}
+		}
+	}
+}
+
+// Decoding clamps bit patterns beyond an attribute's domain: the 5-value
+// attribute uses 3 bits, so patterns 5-7 must clamp to code 4.
+func TestDecodeClampsInvalidPatterns(t *testing.T) {
+	orig := mixedSchema()
+	c := NewCodec(Binary, orig)
+	enc := dataset.New(c.BinarySchema())
+	// w bits = 111 (7, invalid), x = 0, y bits = 000.
+	enc.Append([]uint16{1, 1, 1, 0, 0, 0, 0})
+	dec := c.Decode(enc)
+	if got := dec.Value(0, 0); got != 4 {
+		t.Errorf("invalid pattern decoded to %d, want clamp to 4", got)
+	}
+}
+
+func TestNewCodecRejectsVanilla(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCodec(Vanilla, mixedSchema())
+}
+
+func TestDecodeWrongWidthPanics(t *testing.T) {
+	c := NewCodec(Binary, mixedSchema())
+	bad := dataset.New([]dataset.Attribute{dataset.NewCategorical("z", []string{"0", "1"})})
+	bad.Append([]uint16{0})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.Decode(bad)
+}
+
+func TestKindString(t *testing.T) {
+	names := map[Kind]string{Vanilla: "Vanilla", Binary: "Binary", Gray: "Gray", Hierarchical: "Hierarchical"}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d.String() = %s", int(k), k.String())
+		}
+	}
+}

@@ -1,0 +1,27 @@
+package experiment
+
+import (
+	"math/rand"
+
+	"privbayes/internal/dataset"
+	"privbayes/internal/svm"
+	"privbayes/internal/workload"
+)
+
+// svmEpochs is the Pegasos epoch count used throughout the harness.
+const svmEpochs = 3
+
+// trainAndScore trains the paper's hinge-loss C-SVM (C = 1) for one
+// classification task on trainData (real or synthetic — both share the
+// schema, hence the feature layout) and returns its misclassification
+// rate on the holdout.
+func trainAndScore(trainData, test *dataset.Dataset, task workload.Task, rng *rand.Rand) (float64, error) {
+	target, err := task.TargetIndex(trainData)
+	if err != nil {
+		return 0, err
+	}
+	trainProb := svm.Featurize(trainData, target, task.Positive)
+	model := svm.TrainHinge(trainProb, 1, svmEpochs, rng)
+	testProb := svm.Featurize(test, target, task.Positive)
+	return svm.MisclassificationRate(model, testProb), nil
+}

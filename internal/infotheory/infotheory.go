@@ -1,0 +1,96 @@
+// Package infotheory provides the entropy, mutual information and
+// KL-divergence primitives used by PrivBayes' network quality measures.
+// All logarithms are base 2, matching the paper.
+package infotheory
+
+import (
+	"math"
+
+	"privbayes/internal/marginal"
+)
+
+// Entropy returns H(P) = -Σ p log2 p for a probability vector. Zero
+// cells contribute nothing (lim p→0 of p log p).
+func Entropy(p []float64) float64 {
+	var h float64
+	for _, v := range p {
+		if v > 0 {
+			h -= v * math.Log2(v)
+		}
+	}
+	return h
+}
+
+// MutualInformationSplit computes I(X, Π) from a joint table laid out as
+// [Π..., X]: the last variable is X and all earlier variables jointly
+// form Π (Equation 5). With no parents the mutual information is zero.
+func MutualInformationSplit(joint *marginal.Table) float64 {
+	k := len(joint.Vars)
+	if k <= 1 {
+		return 0
+	}
+	xDim := joint.Dims[k-1]
+	piDim := len(joint.P) / xDim
+	px := make([]float64, xDim)
+	ppi := make([]float64, piDim)
+	for i, p := range joint.P {
+		px[i%xDim] += p
+		ppi[i/xDim] += p
+	}
+	var mi float64
+	for i, p := range joint.P {
+		if p <= 0 {
+			continue
+		}
+		den := px[i%xDim] * ppi[i/xDim]
+		if den > 0 {
+			mi += p * math.Log2(p/den)
+		}
+	}
+	if mi < 0 {
+		mi = 0 // guard tiny negative rounding
+	}
+	return mi
+}
+
+// KLDivergence returns D_KL(P || Q) in bits over two equal-length
+// probability vectors. Cells where p > 0 and q == 0 yield +Inf.
+func KLDivergence(p, q []float64) float64 {
+	var d float64
+	for i := range p {
+		if p[i] <= 0 {
+			continue
+		}
+		if q[i] <= 0 {
+			return math.Inf(1)
+		}
+		d += p[i] * math.Log2(p[i]/q[i])
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// IndependentProduct returns the product distribution Pr[X]·Pr[Π] with
+// the same [Π..., X] layout as the joint — the distribution Pr̄ that
+// minimizes mutual information (Lemma 5.2), used by the R score.
+func IndependentProduct(joint *marginal.Table) *marginal.Table {
+	k := len(joint.Vars)
+	out := joint.Clone()
+	if k <= 1 {
+		return out
+	}
+	xDim := joint.Dims[k-1]
+	piDim := len(joint.P) / xDim
+	px := make([]float64, xDim)
+	ppi := make([]float64, piDim)
+	for i, p := range joint.P {
+		px[i%xDim] += p
+		ppi[i/xDim] += p
+	}
+	for i := range out.P {
+		out.P[i] = px[i%xDim] * ppi[i/xDim]
+	}
+	return out
+}

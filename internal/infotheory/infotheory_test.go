@@ -1,0 +1,167 @@
+package infotheory
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"privbayes/internal/marginal"
+)
+
+func TestEntropyKnownValues(t *testing.T) {
+	cases := []struct {
+		p    []float64
+		want float64
+	}{
+		{[]float64{0.5, 0.5}, 1},
+		{[]float64{1, 0}, 0},
+		{[]float64{0.25, 0.25, 0.25, 0.25}, 2},
+	}
+	for _, c := range cases {
+		if got := Entropy(c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Entropy(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestEntropyNonNegative(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var sum float64
+		p := make([]float64, len(raw))
+		for i, v := range raw {
+			p[i] = math.Abs(v)
+			sum += p[i]
+		}
+		if sum == 0 {
+			return true
+		}
+		for i := range p {
+			p[i] /= sum
+		}
+		return Entropy(p) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// table builds a [Π, X] joint from a 2D matrix rows = π values, cols = x.
+func table(p [][]float64) *marginal.Table {
+	rows, cols := len(p), len(p[0])
+	flat := make([]float64, 0, rows*cols)
+	for _, r := range p {
+		flat = append(flat, r...)
+	}
+	return &marginal.Table{
+		Vars: []marginal.Var{{Attr: 1}, {Attr: 0}},
+		Dims: []int{rows, cols},
+		P:    flat,
+	}
+}
+
+func TestMutualInformationIndependent(t *testing.T) {
+	joint := table([][]float64{{0.25, 0.25}, {0.25, 0.25}})
+	if got := MutualInformationSplit(joint); got != 0 {
+		t.Errorf("MI of independent uniform = %v, want 0", got)
+	}
+}
+
+func TestMutualInformationPerfectlyCorrelated(t *testing.T) {
+	joint := table([][]float64{{0.5, 0}, {0, 0.5}})
+	if got := MutualInformationSplit(joint); math.Abs(got-1) > 1e-12 {
+		t.Errorf("MI of identity coupling = %v, want 1", got)
+	}
+}
+
+// Example 4.4 of the paper: both distributions are maximum joint
+// distributions with I(X, Π) = 1 for binary X and |dom(Π)| = 3.
+func TestMutualInformationPaperExample44(t *testing.T) {
+	// Layout [Π, X]: rows are π ∈ {a,b,c}, columns x ∈ {0,1}.
+	first := table([][]float64{{0.5, 0}, {0, 0.5}, {0, 0}})
+	second := table([][]float64{{0, 0.5}, {0.2, 0}, {0.3, 0}})
+	for i, j := range []*marginal.Table{first, second} {
+		if got := MutualInformationSplit(j); math.Abs(got-1) > 1e-12 {
+			t.Errorf("example 4.4 distribution %d: I = %v, want 1", i+1, got)
+		}
+	}
+}
+
+func TestMutualInformationNoParents(t *testing.T) {
+	joint := &marginal.Table{Vars: []marginal.Var{{Attr: 0}}, Dims: []int{2}, P: []float64{0.3, 0.7}}
+	if MutualInformationSplit(joint) != 0 {
+		t.Error("MI with empty parent set must be 0")
+	}
+}
+
+// I(X, Π) = H(X) + H(Π) − H(X, Π) (Equation 12 of the appendix).
+func TestMutualInformationEntropyIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 50; trial++ {
+		rows, cols := 2+rng.Intn(3), 2+rng.Intn(3)
+		p := make([][]float64, rows)
+		var sum float64
+		for i := range p {
+			p[i] = make([]float64, cols)
+			for j := range p[i] {
+				p[i][j] = rng.Float64()
+				sum += p[i][j]
+			}
+		}
+		flatX := make([]float64, cols)
+		flatPi := make([]float64, rows)
+		var flat []float64
+		for i := range p {
+			for j := range p[i] {
+				p[i][j] /= sum
+				flatX[j] += p[i][j]
+				flatPi[i] += p[i][j]
+				flat = append(flat, p[i][j])
+			}
+		}
+		joint := table(p)
+		want := Entropy(flatX) + Entropy(flatPi) - Entropy(flat)
+		got := MutualInformationSplit(joint)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: MI = %v, entropy identity gives %v", trial, got, want)
+		}
+	}
+}
+
+func TestKLDivergence(t *testing.T) {
+	p := []float64{0.5, 0.5}
+	q := []float64{0.25, 0.75}
+	want := 0.5*math.Log2(2) + 0.5*math.Log2(0.5/0.75)
+	if got := KLDivergence(p, q); math.Abs(got-want) > 1e-12 {
+		t.Errorf("KL = %v, want %v", got, want)
+	}
+	if KLDivergence(p, p) != 0 {
+		t.Error("KL(p||p) must be 0")
+	}
+	if !math.IsInf(KLDivergence([]float64{1, 0}, []float64{0, 1}), 1) {
+		t.Error("KL with disjoint support must be +Inf")
+	}
+}
+
+func TestIndependentProductPreservesMarginals(t *testing.T) {
+	joint := table([][]float64{{0.4, 0.1}, {0.2, 0.3}})
+	ind := IndependentProduct(joint)
+	// Same X marginal.
+	if math.Abs((ind.P[0]+ind.P[2])-(0.4+0.2)) > 1e-12 {
+		t.Error("X marginal changed")
+	}
+	// Same Π marginal.
+	if math.Abs((ind.P[0]+ind.P[1])-0.5) > 1e-12 {
+		t.Error("Π marginal changed")
+	}
+	// Product has zero MI.
+	if got := MutualInformationSplit(ind); got > 1e-12 {
+		t.Errorf("independent product has MI %v", got)
+	}
+	if math.Abs(ind.P[0]-0.6*0.5) > 1e-12 {
+		t.Errorf("cell (0,0) = %v, want 0.30", ind.P[0])
+	}
+}

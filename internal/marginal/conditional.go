@@ -1,0 +1,87 @@
+package marginal
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Conditional holds a conditional distribution Pr[X | Π] derived from a
+// joint table laid out as [Π..., X]. Each contiguous block of size
+// |dom(X)| holds the distribution of X given one parent configuration.
+type Conditional struct {
+	X       Var
+	Parents []Var
+	PDims   []int     // parent dimensions, in Parents order
+	XDim    int       // |dom(X)|
+	P       []float64 // len = prod(PDims) * XDim; each block sums to 1
+}
+
+// ConditionalFromJoint derives Pr[X | Π] from a joint distribution whose
+// last variable is X (Line 6 of Algorithm 1). Zero-mass parent
+// configurations fall back to the uniform distribution over X, so the
+// sampler never stalls.
+func ConditionalFromJoint(joint *Table) *Conditional {
+	k := len(joint.Vars)
+	if k == 0 {
+		panic("marginal: conditional from empty joint")
+	}
+	xDim := joint.Dims[k-1]
+	c := &Conditional{
+		X:       joint.Vars[k-1],
+		Parents: append([]Var(nil), joint.Vars[:k-1]...),
+		PDims:   append([]int(nil), joint.Dims[:k-1]...),
+		XDim:    xDim,
+		P:       append([]float64(nil), joint.P...),
+	}
+	for off := 0; off < len(c.P); off += xDim {
+		block := c.P[off : off+xDim]
+		var s float64
+		for _, p := range block {
+			s += p
+		}
+		if s <= 0 {
+			u := 1 / float64(xDim)
+			for i := range block {
+				block[i] = u
+			}
+			continue
+		}
+		inv := 1 / s
+		for i := range block {
+			block[i] *= inv
+		}
+	}
+	return c
+}
+
+// BlockIndex converts parent codes (in Parents order) to the offset of
+// the corresponding conditional block.
+func (c *Conditional) BlockIndex(parentCodes []int) int {
+	if len(parentCodes) != len(c.PDims) {
+		panic(fmt.Sprintf("marginal: %d parent codes for %d parents", len(parentCodes), len(c.PDims)))
+	}
+	idx := 0
+	for i, v := range parentCodes {
+		idx = idx*c.PDims[i] + v
+	}
+	return idx * c.XDim
+}
+
+// Prob returns Pr[X = x | Π = parentCodes].
+func (c *Conditional) Prob(parentCodes []int, x int) float64 {
+	return c.P[c.BlockIndex(parentCodes)+x]
+}
+
+// SampleX draws a value of X given parent codes.
+func (c *Conditional) SampleX(parentCodes []int, rng *rand.Rand) int {
+	off := c.BlockIndex(parentCodes)
+	u := rng.Float64()
+	var cum float64
+	for x := 0; x < c.XDim; x++ {
+		cum += c.P[off+x]
+		if u < cum {
+			return x
+		}
+	}
+	return c.XDim - 1
+}

@@ -1,0 +1,92 @@
+package marginal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestConditionalBlocksSumToOne(t *testing.T) {
+	ds := smallData(t)
+	joint := Materialize(ds, []Var{{Attr: 1}, {Attr: 0}}) // Pr[b, a], X = a
+	c := ConditionalFromJoint(joint)
+	if c.XDim != 2 || len(c.PDims) != 1 || c.PDims[0] != 3 {
+		t.Fatalf("conditional shape wrong: XDim=%d PDims=%v", c.XDim, c.PDims)
+	}
+	for b := 0; b < 3; b++ {
+		s := c.Prob([]int{b}, 0) + c.Prob([]int{b}, 1)
+		if math.Abs(s-1) > 1e-9 {
+			t.Errorf("block %d sums to %v", b, s)
+		}
+	}
+}
+
+func TestConditionalMatchesBayesRule(t *testing.T) {
+	ds := smallData(t)
+	joint := Materialize(ds, []Var{{Attr: 1}, {Attr: 0}})
+	c := ConditionalFromJoint(joint)
+	// Pr[a=1 | b=2] = Pr[a=1, b=2] / Pr[b=2].
+	pJoint := joint.P[joint.Index([]int{2, 1})]
+	pB := joint.P[joint.Index([]int{2, 0})] + pJoint
+	want := pJoint / pB
+	if got := c.Prob([]int{2}, 1); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Prob = %v, want %v", got, want)
+	}
+}
+
+func TestConditionalZeroMassUniformFallback(t *testing.T) {
+	joint := &Table{
+		Vars: []Var{{Attr: 0}, {Attr: 1}},
+		Dims: []int{2, 3},
+		P:    []float64{0.5, 0.3, 0.2, 0, 0, 0}, // second parent block empty
+	}
+	c := ConditionalFromJoint(joint)
+	for x := 0; x < 3; x++ {
+		if math.Abs(c.Prob([]int{1}, x)-1.0/3) > 1e-12 {
+			t.Fatalf("zero-mass block should be uniform, got %v", c.P)
+		}
+	}
+}
+
+func TestConditionalNoParents(t *testing.T) {
+	joint := &Table{Vars: []Var{{Attr: 0}}, Dims: []int{4}, P: []float64{0.1, 0.2, 0.3, 0.4}}
+	c := ConditionalFromJoint(joint)
+	if len(c.Parents) != 0 {
+		t.Fatal("expected no parents")
+	}
+	if math.Abs(c.Prob(nil, 3)-0.4) > 1e-12 {
+		t.Errorf("marginal conditional wrong: %v", c.P)
+	}
+}
+
+func TestSampleXDistribution(t *testing.T) {
+	joint := &Table{
+		Vars: []Var{{Attr: 1}, {Attr: 0}},
+		Dims: []int{1, 2},
+		P:    []float64{0.8, 0.2},
+	}
+	c := ConditionalFromJoint(joint)
+	rng := rand.New(rand.NewSource(3))
+	const trials = 20000
+	ones := 0
+	for i := 0; i < trials; i++ {
+		if c.SampleX([]int{0}, rng) == 1 {
+			ones++
+		}
+	}
+	got := float64(ones) / trials
+	if math.Abs(got-0.2) > 0.01 {
+		t.Errorf("sampled P(X=1) = %v, want ≈ 0.2", got)
+	}
+}
+
+func TestBlockIndexArityPanics(t *testing.T) {
+	joint := &Table{Vars: []Var{{Attr: 1}, {Attr: 0}}, Dims: []int{2, 2}, P: []float64{1, 0, 0, 1}}
+	c := ConditionalFromJoint(joint)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong parent arity")
+		}
+	}()
+	c.Prob([]int{0, 0}, 1)
+}

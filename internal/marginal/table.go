@@ -1,0 +1,264 @@
+// Package marginal implements multi-dimensional marginal (contingency)
+// tables over dataset attributes: materialization from data, Laplace
+// noise injection, the clamp-and-normalize post-processing of Algorithm 1,
+// conditional derivation, projection, and distribution distances.
+package marginal
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"privbayes/internal/dataset"
+)
+
+// Var identifies an attribute at a generalization level. Level 0 is the
+// raw domain; higher levels use the attribute's taxonomy tree
+// (Section 5.1, hierarchical encoding).
+type Var struct {
+	Attr  int
+	Level int
+}
+
+// Size returns the domain size of the variable within the dataset schema.
+func (v Var) Size(ds *dataset.Dataset) int { return ds.Attr(v.Attr).SizeAt(v.Level) }
+
+// String renders the variable as name(level) for diagnostics.
+func (v Var) String() string {
+	if v.Level == 0 {
+		return fmt.Sprintf("a%d", v.Attr)
+	}
+	return fmt.Sprintf("a%d^%d", v.Attr, v.Level)
+}
+
+// Table is a dense joint distribution (or count table) over a list of
+// variables, stored row-major with the LAST variable varying fastest.
+// PrivBayes stores AP-pair joints as [parents..., child] so the cells of
+// a conditional slice Pr[X | Π=π] are contiguous.
+type Table struct {
+	Vars []Var
+	Dims []int
+	P    []float64
+}
+
+// NewTable allocates a zeroed table for the given variables.
+func NewTable(ds *dataset.Dataset, vars []Var) *Table {
+	dims := make([]int, len(vars))
+	size := 1
+	for i, v := range vars {
+		dims[i] = v.Size(ds)
+		size *= dims[i]
+	}
+	return &Table{Vars: append([]Var(nil), vars...), Dims: dims, P: make([]float64, size)}
+}
+
+// Cells returns the number of cells (the paper's m for this marginal).
+func (t *Table) Cells() int { return len(t.P) }
+
+// Index converts per-variable codes into a flat cell index.
+func (t *Table) Index(codes []int) int {
+	idx := 0
+	for i, c := range codes {
+		idx = idx*t.Dims[i] + c
+	}
+	return idx
+}
+
+// Codes inverts Index, filling dst (allocating when short).
+func (t *Table) Codes(idx int, dst []int) []int {
+	if cap(dst) < len(t.Dims) {
+		dst = make([]int, len(t.Dims))
+	}
+	dst = dst[:len(t.Dims)]
+	for i := len(t.Dims) - 1; i >= 0; i-- {
+		dst[i] = idx % t.Dims[i]
+		idx /= t.Dims[i]
+	}
+	return dst
+}
+
+// Materialize computes the empirical joint distribution of the variables
+// on the dataset, normalized to total mass 1 (Line 3 of Algorithm 1).
+// With n = 0 rows the table is uniform.
+func Materialize(ds *dataset.Dataset, vars []Var) *Table {
+	t := NewTable(ds, vars)
+	n := ds.N()
+	if n == 0 {
+		u := 1 / float64(len(t.P))
+		for i := range t.P {
+			t.P[i] = u
+		}
+		return t
+	}
+	t.countInto(ds, 1/float64(n))
+	return t
+}
+
+// MaterializeCounts computes raw integer counts (as float64 values). The
+// F score's dynamic program relies on every cell being a multiple of 1/n;
+// counts keep that exact.
+func MaterializeCounts(ds *dataset.Dataset, vars []Var) *Table {
+	t := NewTable(ds, vars)
+	t.countInto(ds, 1)
+	return t
+}
+
+func (t *Table) countInto(ds *dataset.Dataset, w float64) {
+	// Precompute per-variable stride and generalization lookup so the
+	// row loop is a handful of array reads per variable.
+	k := len(t.Vars)
+	strides := make([]int, k)
+	s := 1
+	for i := k - 1; i >= 0; i-- {
+		strides[i] = s
+		s *= t.Dims[i]
+	}
+	cols := make([][]uint16, k)
+	gen := make([][]int, k) // nil when level == 0
+	for i, v := range t.Vars {
+		cols[i] = ds.Column(v.Attr)
+		if v.Level > 0 {
+			a := ds.Attr(v.Attr)
+			m := make([]int, a.Size())
+			for c := range m {
+				m[c] = a.Generalize(v.Level, c)
+			}
+			gen[i] = m
+		}
+	}
+	n := ds.N()
+	for r := 0; r < n; r++ {
+		idx := 0
+		for i := 0; i < k; i++ {
+			c := int(cols[i][r])
+			if gen[i] != nil {
+				c = gen[i][c]
+			}
+			idx += c * strides[i]
+		}
+		t.P[idx] += w
+	}
+}
+
+// Sum returns the total mass.
+func (t *Table) Sum() float64 {
+	var s float64
+	for _, p := range t.P {
+		s += p
+	}
+	return s
+}
+
+// Scale multiplies every cell by f.
+func (t *Table) Scale(f float64) {
+	for i := range t.P {
+		t.P[i] *= f
+	}
+}
+
+// AddLaplace adds i.i.d. Laplace(scale) noise to every cell (Line 4 of
+// Algorithm 1). The noise function is injected so callers can share one
+// seeded source.
+func (t *Table) AddLaplace(rng *rand.Rand, scale float64) {
+	for i := range t.P {
+		t.P[i] += laplace(rng, scale)
+	}
+}
+
+// laplace draws one Laplace(0, b) variate by inverse-CDF sampling.
+func laplace(rng *rand.Rand, b float64) float64 {
+	u := rng.Float64() - 0.5
+	if u < 0 {
+		return b * math.Log1p(2*u)
+	}
+	return -b * math.Log1p(-2*u)
+}
+
+// ClampNormalize sets negative cells to zero and rescales to total mass 1
+// (Line 5 of Algorithm 1). When everything clamps to zero the table
+// becomes uniform, the least-informative valid distribution.
+func (t *Table) ClampNormalize() {
+	var s float64
+	for i, p := range t.P {
+		if p < 0 {
+			t.P[i] = 0
+		} else {
+			s += p
+		}
+	}
+	if s <= 0 {
+		u := 1 / float64(len(t.P))
+		for i := range t.P {
+			t.P[i] = u
+		}
+		return
+	}
+	inv := 1 / s
+	for i := range t.P {
+		t.P[i] *= inv
+	}
+}
+
+// Clone deep-copies the table.
+func (t *Table) Clone() *Table {
+	return &Table{
+		Vars: append([]Var(nil), t.Vars...),
+		Dims: append([]int(nil), t.Dims...),
+		P:    append([]float64(nil), t.P...),
+	}
+}
+
+// MarginalizeOnto sums the table down to the given subset of its
+// variables (which must each appear in t.Vars), in the given order.
+func (t *Table) MarginalizeOnto(vars []Var) *Table {
+	pos := make([]int, len(vars))
+	for i, v := range vars {
+		pos[i] = -1
+		for j, tv := range t.Vars {
+			if tv == v {
+				pos[i] = j
+				break
+			}
+		}
+		if pos[i] < 0 {
+			panic(fmt.Sprintf("marginal: variable %v not in table %v", v, t.Vars))
+		}
+	}
+	dims := make([]int, len(vars))
+	size := 1
+	for i := range vars {
+		dims[i] = t.Dims[pos[i]]
+		size *= dims[i]
+	}
+	out := &Table{Vars: append([]Var(nil), vars...), Dims: dims, P: make([]float64, size)}
+	codes := make([]int, len(t.Dims))
+	for idx := range t.P {
+		codes = t.Codes(idx, codes)
+		o := 0
+		for i := range vars {
+			o = o*dims[i] + codes[pos[i]]
+		}
+		out.P[o] += t.P[idx]
+	}
+	return out
+}
+
+// L1 returns the L1 distance between two tables of identical shape.
+func L1(a, b *Table) float64 {
+	if len(a.P) != len(b.P) {
+		panic("marginal: L1 on tables of different size")
+	}
+	var s float64
+	for i := range a.P {
+		d := a.P[i] - b.P[i]
+		if d < 0 {
+			d = -d
+		}
+		s += d
+	}
+	return s
+}
+
+// TVD returns the total variation distance, half the L1 distance; this is
+// the paper's accuracy metric for noisy marginals (Section 6.1).
+func TVD(a, b *Table) float64 { return L1(a, b) / 2 }

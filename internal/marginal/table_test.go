@@ -1,0 +1,217 @@
+package marginal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"privbayes/internal/dataset"
+)
+
+func smallData(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	attrs := []dataset.Attribute{
+		dataset.NewCategorical("a", []string{"0", "1"}),
+		dataset.NewCategorical("b", []string{"x", "y", "z"}),
+		dataset.NewContinuous("c", 0, 16, 4),
+	}
+	ds := dataset.New(attrs)
+	rng := rand.New(rand.NewSource(1))
+	rec := make([]uint16, 3)
+	for i := 0; i < 500; i++ {
+		rec[0] = uint16(rng.Intn(2))
+		rec[1] = uint16(rng.Intn(3))
+		rec[2] = uint16(rng.Intn(4))
+		ds.Append(rec)
+	}
+	return ds
+}
+
+func TestMaterializeSumsToOne(t *testing.T) {
+	ds := smallData(t)
+	tab := Materialize(ds, []Var{{Attr: 0}, {Attr: 1}, {Attr: 2}})
+	if got := tab.Sum(); math.Abs(got-1) > 1e-9 {
+		t.Errorf("sum = %v, want 1", got)
+	}
+	if tab.Cells() != 2*3*4 {
+		t.Errorf("cells = %d, want 24", tab.Cells())
+	}
+}
+
+func TestMaterializeCountsMatchesN(t *testing.T) {
+	ds := smallData(t)
+	tab := MaterializeCounts(ds, []Var{{Attr: 1}})
+	if got := tab.Sum(); math.Abs(got-float64(ds.N())) > 1e-9 {
+		t.Errorf("counts sum = %v, want %d", got, ds.N())
+	}
+	// Counts must be non-negative integers.
+	for _, c := range tab.P {
+		if c < 0 || c != math.Trunc(c) {
+			t.Fatalf("count %v not a non-negative integer", c)
+		}
+	}
+}
+
+func TestMaterializeMatchesDirectCount(t *testing.T) {
+	ds := smallData(t)
+	tab := Materialize(ds, []Var{{Attr: 0}, {Attr: 2}})
+	// Count directly.
+	direct := make([]float64, 2*4)
+	for r := 0; r < ds.N(); r++ {
+		direct[ds.Value(r, 0)*4+ds.Value(r, 2)] += 1 / float64(ds.N())
+	}
+	for i := range direct {
+		if math.Abs(direct[i]-tab.P[i]) > 1e-12 {
+			t.Fatalf("cell %d: %v vs %v", i, tab.P[i], direct[i])
+		}
+	}
+}
+
+func TestMaterializeWithGeneralization(t *testing.T) {
+	ds := smallData(t)
+	// Attribute c (4 bins) generalized to level 1 (2 groups).
+	tab := Materialize(ds, []Var{{Attr: 2, Level: 1}})
+	if tab.Cells() != 2 {
+		t.Fatalf("generalized cells = %d, want 2", tab.Cells())
+	}
+	raw := Materialize(ds, []Var{{Attr: 2}})
+	if math.Abs(tab.P[0]-(raw.P[0]+raw.P[1])) > 1e-12 {
+		t.Errorf("generalized cell 0 should merge raw bins 0+1")
+	}
+}
+
+func TestIndexCodesRoundTrip(t *testing.T) {
+	ds := smallData(t)
+	tab := NewTable(ds, []Var{{Attr: 0}, {Attr: 1}, {Attr: 2}})
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		codes := []int{rng.Intn(2), rng.Intn(3), rng.Intn(4)}
+		idx := tab.Index(codes)
+		back := tab.Codes(idx, nil)
+		for i := range codes {
+			if codes[i] != back[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLastVariableVariesFastest(t *testing.T) {
+	ds := smallData(t)
+	tab := NewTable(ds, []Var{{Attr: 1}, {Attr: 0}})
+	if tab.Index([]int{0, 1})-tab.Index([]int{0, 0}) != 1 {
+		t.Error("last variable must have stride 1")
+	}
+	if tab.Index([]int{1, 0})-tab.Index([]int{0, 0}) != 2 {
+		t.Error("first variable must have stride |dom(last)|")
+	}
+}
+
+func TestClampNormalize(t *testing.T) {
+	tab := &Table{Dims: []int{4}, P: []float64{-0.5, 1, 3, 0}}
+	tab.ClampNormalize()
+	if tab.P[0] != 0 {
+		t.Error("negative cell must clamp to 0")
+	}
+	if math.Abs(tab.Sum()-1) > 1e-12 {
+		t.Errorf("sum after normalize = %v", tab.Sum())
+	}
+	if math.Abs(tab.P[2]-0.75) > 1e-12 {
+		t.Errorf("cell 2 = %v, want 0.75", tab.P[2])
+	}
+}
+
+func TestClampNormalizeAllNegativeFallsBackToUniform(t *testing.T) {
+	tab := &Table{Dims: []int{4}, P: []float64{-1, -2, -3, -0.1}}
+	tab.ClampNormalize()
+	for _, p := range tab.P {
+		if math.Abs(p-0.25) > 1e-12 {
+			t.Fatalf("expected uniform fallback, got %v", tab.P)
+		}
+	}
+}
+
+func TestMarginalizeOntoConsistency(t *testing.T) {
+	ds := smallData(t)
+	joint := Materialize(ds, []Var{{Attr: 0}, {Attr: 1}, {Attr: 2}})
+	sub := joint.MarginalizeOnto([]Var{{Attr: 1}, {Attr: 2}})
+	direct := Materialize(ds, []Var{{Attr: 1}, {Attr: 2}})
+	if L1(sub, direct) > 1e-9 {
+		t.Errorf("projected marginal differs from direct: L1 = %v", L1(sub, direct))
+	}
+	// Reordered projection.
+	swapped := joint.MarginalizeOnto([]Var{{Attr: 2}, {Attr: 0}})
+	directSwapped := Materialize(ds, []Var{{Attr: 2}, {Attr: 0}})
+	if L1(swapped, directSwapped) > 1e-9 {
+		t.Error("reordered projection mismatch")
+	}
+}
+
+func TestMarginalizeOntoUnknownVarPanics(t *testing.T) {
+	ds := smallData(t)
+	joint := Materialize(ds, []Var{{Attr: 0}})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown variable")
+		}
+	}()
+	joint.MarginalizeOnto([]Var{{Attr: 1}})
+}
+
+func TestTVDProperties(t *testing.T) {
+	a := &Table{Dims: []int{2}, P: []float64{0.5, 0.5}}
+	b := &Table{Dims: []int{2}, P: []float64{1, 0}}
+	if got := TVD(a, b); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("TVD = %v, want 0.5", got)
+	}
+	if TVD(a, a) != 0 {
+		t.Error("TVD(x,x) must be 0")
+	}
+	if math.Abs(TVD(a, b)-TVD(b, a)) > 1e-15 {
+		t.Error("TVD must be symmetric")
+	}
+}
+
+func TestAddLaplaceZeroScaleIsNoop(t *testing.T) {
+	tab := &Table{Dims: []int{4}, P: []float64{0.25, 0.25, 0.25, 0.25}}
+	before := append([]float64(nil), tab.P...)
+	tab.AddLaplace(rand.New(rand.NewSource(1)), 0)
+	for i := range before {
+		if tab.P[i] != before[i] {
+			t.Fatal("scale-0 noise must leave cells unchanged")
+		}
+	}
+}
+
+func TestAddLaplaceStats(t *testing.T) {
+	const cells = 20000
+	tab := &Table{Dims: []int{cells}, P: make([]float64, cells)}
+	tab.AddLaplace(rand.New(rand.NewSource(2)), 0.5)
+	var mean, absMean float64
+	for _, p := range tab.P {
+		mean += p
+		absMean += math.Abs(p)
+	}
+	mean /= cells
+	absMean /= cells
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("Laplace mean = %v, want ≈ 0", mean)
+	}
+	// E|Laplace(b)| = b.
+	if math.Abs(absMean-0.5) > 0.02 {
+		t.Errorf("Laplace E|x| = %v, want ≈ 0.5", absMean)
+	}
+}
+
+func TestMaterializeEmptyDatasetUniform(t *testing.T) {
+	ds := dataset.New([]dataset.Attribute{dataset.NewCategorical("a", []string{"0", "1"})})
+	tab := Materialize(ds, []Var{{Attr: 0}})
+	if math.Abs(tab.P[0]-0.5) > 1e-12 || math.Abs(tab.P[1]-0.5) > 1e-12 {
+		t.Errorf("empty dataset marginal = %v, want uniform", tab.P)
+	}
+}

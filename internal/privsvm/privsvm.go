@@ -1,0 +1,166 @@
+// Package privsvm implements the classification baselines of Section 6.6:
+// PrivateERM (differentially private empirical risk minimization with
+// objective perturbation, Chaudhuri et al. 2011), PrivGene (genetic
+// model fitting with an exponential-mechanism selection step, Zhang et
+// al. 2013), the naive Majority classifier, and the NoPrivacy reference.
+package privsvm
+
+import (
+	"math"
+	"math/rand"
+
+	"privbayes/internal/dp"
+	"privbayes/internal/svm"
+)
+
+// NoPrivacy trains the paper's reference hinge-loss C-SVM (C = 1)
+// directly on the training data with no privacy protection.
+func NoPrivacy(train *svm.Problem, rng *rand.Rand) *svm.Model {
+	return svm.TrainHinge(train, 1, 3, rng)
+}
+
+// Majority implements the paper's naive ε-DP classifier: count the
+// positive labels, add Laplace(1/ε) noise, and predict the majority
+// class for every test tuple.
+type Majority struct {
+	Positive bool
+}
+
+// TrainMajority builds the majority classifier under ε-DP.
+func TrainMajority(train *svm.Problem, epsilon float64, rng *rand.Rand) *Majority {
+	pos := 0
+	for _, e := range train.Examples {
+		if e.Label > 0 {
+			pos++
+		}
+	}
+	noisy := float64(pos) + dp.Laplace(rng, 1/epsilon)
+	return &Majority{Positive: noisy > float64(len(train.Examples))/2}
+}
+
+// MisclassificationRate evaluates the constant prediction on a test set.
+func (m *Majority) MisclassificationRate(test *svm.Problem) float64 {
+	if len(test.Examples) == 0 {
+		return 0
+	}
+	wrong := 0
+	for _, e := range test.Examples {
+		pred := e.Label < 0
+		if m.Positive {
+			pred = e.Label > 0
+		}
+		if !pred {
+			wrong++
+		}
+	}
+	return float64(wrong) / float64(len(test.Examples))
+}
+
+// PrivateERM trains a Huber-loss SVM under ε-DP with objective
+// perturbation (Algorithm 2 of Chaudhuri et al. 2011). Feature vectors
+// are unit-norm by construction (svm.Featurize), labels are ±1, and the
+// Huber smoothing h bounds the loss curvature by c = 1/(2h).
+func PrivateERM(train *svm.Problem, epsilon float64, rng *rand.Rand) *svm.Model {
+	const (
+		h      = 0.5  // Huber smoothing; c = 1/(2h) = 1
+		lambda = 1e-3 // base regularization
+		iters  = 150
+	)
+	n := float64(len(train.Examples))
+	if n == 0 {
+		return &svm.Model{W: make([]float64, train.Dim)}
+	}
+	c := 1 / (2 * h)
+	lam := lambda
+	epsPrime := epsilon - math.Log(1+2*c/(n*lam)+c*c/(n*n*lam*lam))
+	if epsPrime <= 0 {
+		// Chaudhuri et al.: raise the regularizer until the slack term
+		// leaves half the budget for the noise vector.
+		lam = c / (n * (math.Exp(epsilon/4) - 1))
+		epsPrime = epsilon / 2
+	}
+	// Noise vector with norm ~ Gamma(dim, 2/ε') and uniform direction.
+	b := make([]float64, train.Dim)
+	var norm float64
+	for i := range b {
+		b[i] = rng.NormFloat64()
+		norm += b[i] * b[i]
+	}
+	norm = math.Sqrt(norm)
+	target := dp.Gamma(rng, float64(train.Dim), 2/epsPrime)
+	for i := range b {
+		b[i] = b[i] / norm * target
+	}
+	return svm.TrainHuber(train, lam, h, b, iters)
+}
+
+// PrivGene trains a linear classifier with a genetic algorithm whose
+// parent selection runs through the exponential mechanism, following
+// Zhang et al. (2013). Fitness is the number of correctly classified
+// training tuples, whose sensitivity is 1.
+func PrivGene(train *svm.Problem, epsilon float64, rng *rand.Rand) *svm.Model {
+	const (
+		population = 40
+		iterations = 12
+		elite      = 2 // EM selections per iteration
+	)
+	n := len(train.Examples)
+	if n == 0 {
+		return &svm.Model{W: make([]float64, train.Dim)}
+	}
+	epsIter := epsilon / float64(iterations*elite)
+
+	pop := make([][]float64, population)
+	for i := range pop {
+		w := make([]float64, train.Dim)
+		for j := range w {
+			w[j] = rng.NormFloat64()
+		}
+		pop[i] = w
+	}
+	fitness := func(w []float64) float64 {
+		m := svm.Model{W: w}
+		correct := 0
+		for _, e := range train.Examples {
+			if m.Predict(train, e) == e.Label {
+				correct++
+			}
+		}
+		return float64(correct)
+	}
+	scores := make([]float64, population)
+	mutScale := 1.0
+	var best []float64
+	for it := 0; it < iterations; it++ {
+		for i, w := range pop {
+			scores[i] = fitness(w)
+		}
+		// Exponential-mechanism selection of the parents.
+		parents := make([][]float64, 0, elite)
+		for e := 0; e < elite; e++ {
+			pick := dp.Exponential(rng, scores, 1, epsIter)
+			parents = append(parents, pop[pick])
+		}
+		best = parents[0]
+		// Offspring: uniform crossover of the selected parents plus
+		// Gaussian mutation with a decaying scale.
+		next := make([][]float64, 0, population)
+		next = append(next, parents...)
+		for len(next) < population {
+			a, b := parents[rng.Intn(len(parents))], parents[rng.Intn(len(parents))]
+			child := make([]float64, train.Dim)
+			for j := range child {
+				if rng.Intn(2) == 0 {
+					child[j] = a[j]
+				} else {
+					child[j] = b[j]
+				}
+				child[j] += mutScale * rng.NormFloat64() * 0.3
+			}
+			next = append(next, child)
+		}
+		pop = next
+		mutScale *= 0.8
+	}
+	return &svm.Model{W: append([]float64(nil), best...)}
+}

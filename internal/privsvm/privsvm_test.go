@@ -1,0 +1,123 @@
+package privsvm
+
+import (
+	"math/rand"
+	"testing"
+
+	"privbayes/internal/dataset"
+	"privbayes/internal/svm"
+)
+
+func separable(n int, seed int64) (*svm.Problem, *svm.Problem) {
+	attrs := []dataset.Attribute{
+		dataset.NewCategorical("f1", []string{"0", "1", "2"}),
+		dataset.NewCategorical("f2", []string{"0", "1"}),
+		dataset.NewCategorical("label", []string{"neg", "pos"}),
+	}
+	mk := func(m int, s int64) *svm.Problem {
+		ds := dataset.New(attrs)
+		rng := rand.New(rand.NewSource(s))
+		rec := make([]uint16, 3)
+		for i := 0; i < m; i++ {
+			f1, f2 := rng.Intn(3), rng.Intn(2)
+			y := 0
+			if f1 == 2 || f2 == 1 {
+				y = 1
+			}
+			rec[0], rec[1], rec[2] = uint16(f1), uint16(f2), uint16(y)
+			ds.Append(rec)
+		}
+		return svm.Featurize(ds, 2, func(c int) bool { return c == 1 })
+	}
+	return mk(n, seed), mk(n/4, seed+1)
+}
+
+func TestNoPrivacyIsAccurate(t *testing.T) {
+	train, test := separable(4000, 1)
+	m := NoPrivacy(train, rand.New(rand.NewSource(2)))
+	if mcr := svm.MisclassificationRate(m, test); mcr > 0.02 {
+		t.Errorf("NoPrivacy MCR = %v", mcr)
+	}
+}
+
+func TestMajorityPredictsMajorityClass(t *testing.T) {
+	train, test := separable(4000, 3)
+	// The positive class (f1=2 or f2=1) covers 2/3 of the space, so
+	// Majority should predict positive with a large budget.
+	m := TrainMajority(train, 10, rand.New(rand.NewSource(4)))
+	if !m.Positive {
+		t.Error("expected positive majority")
+	}
+	mcr := m.MisclassificationRate(test)
+	// It should misclassify roughly the negative fraction (~1/3).
+	if mcr < 0.2 || mcr > 0.5 {
+		t.Errorf("Majority MCR = %v, want ≈ 1/3", mcr)
+	}
+}
+
+func TestMajorityRobustToBudget(t *testing.T) {
+	train, test := separable(4000, 5)
+	rng := rand.New(rand.NewSource(6))
+	hi := TrainMajority(train, 10, rng).MisclassificationRate(test)
+	lo := TrainMajority(train, 0.05, rng).MisclassificationRate(test)
+	// With n = 4000 the noisy count rarely flips the majority: rates
+	// should agree (the paper notes Majority is insensitive to ε).
+	if hi != lo {
+		t.Errorf("Majority changed with ε: %v vs %v", hi, lo)
+	}
+}
+
+func TestPrivateERMConvergesToNonPrivate(t *testing.T) {
+	train, test := separable(4000, 7)
+	rng := rand.New(rand.NewSource(8))
+	big := PrivateERM(train, 1000, rng)
+	if mcr := svm.MisclassificationRate(big, test); mcr > 0.05 {
+		t.Errorf("PrivateERM at ε=1000 MCR = %v, want near non-private", mcr)
+	}
+}
+
+func TestPrivateERMSmallBudgetDegrades(t *testing.T) {
+	train, test := separable(4000, 9)
+	var small, big float64
+	const reps = 5
+	for r := 0; r < reps; r++ {
+		rng := rand.New(rand.NewSource(int64(10 + r)))
+		small += svm.MisclassificationRate(PrivateERM(train, 0.01, rng), test)
+		big += svm.MisclassificationRate(PrivateERM(train, 100, rng), test)
+	}
+	if big >= small {
+		t.Errorf("PrivateERM should improve with budget: ε=100 %v vs ε=0.01 %v", big/reps, small/reps)
+	}
+}
+
+func TestPrivGeneLearnsAtLargeBudget(t *testing.T) {
+	train, test := separable(3000, 11)
+	m := PrivGene(train, 100, rand.New(rand.NewSource(12)))
+	if mcr := svm.MisclassificationRate(m, test); mcr > 0.2 {
+		t.Errorf("PrivGene at huge ε MCR = %v", mcr)
+	}
+}
+
+func TestPrivGeneReturnsValidModel(t *testing.T) {
+	train, _ := separable(500, 13)
+	m := PrivGene(train, 0.1, rand.New(rand.NewSource(14)))
+	if len(m.W) != train.Dim {
+		t.Fatalf("model dim = %d, want %d", len(m.W), train.Dim)
+	}
+	for _, w := range m.W {
+		if w != w { // NaN check
+			t.Fatal("NaN weight")
+		}
+	}
+}
+
+func TestEmptyProblems(t *testing.T) {
+	empty := &svm.Problem{Dim: 4, FeatValue: 1}
+	rng := rand.New(rand.NewSource(15))
+	if m := PrivateERM(empty, 1, rng); len(m.W) != 4 {
+		t.Error("PrivateERM empty problem")
+	}
+	if m := PrivGene(empty, 1, rng); len(m.W) != 4 {
+		t.Error("PrivGene empty problem")
+	}
+}

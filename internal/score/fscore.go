@@ -1,0 +1,99 @@
+package score
+
+// This file implements the dynamic program of Section 4.4, which computes
+//
+//	F(X, Π) = −min over maximum joint distributions of ½‖Pr[X,Π] − Pr⋄‖₁
+//
+// for binary X and binary parents. The joint counts form a 2 × 2^k
+// matrix; every maximum joint distribution has at most one non-zero
+// entry per column (Lemma 4.3), so each column's mass is assigned either
+// to row X=0 (growing K0) or row X=1 (growing K1), and
+//
+//	F = −min over reachable (K0, K1) of (½ − K0)₊ + (½ − K1)₊ .
+//
+// Because every count is a multiple of 1/n, states live on an integer
+// grid and dominated states (Definition 4.6) can be discarded, keeping
+// at most n+1 states per column and O(n·2^k) total time.
+
+// fState is a reachable (K0, K1) pair scaled by n.
+type fState struct{ a, b int }
+
+// FScoreFromCounts computes F from the integer count cells of a joint
+// table laid out as [Π..., X] with X binary (cells alternate X=0, X=1
+// per parent configuration). n is the number of tuples.
+func FScoreFromCounts(counts []float64, n int) float64 {
+	if n == 0 {
+		return -0.5
+	}
+	cols := len(counts) / 2
+	// states are kept sorted by a ascending with b strictly descending;
+	// that is exactly the Pareto frontier of reachable states.
+	states := []fState{{0, 0}}
+	next := make([]fState, 0, 64)
+	for c := 0; c < cols; c++ {
+		n0 := int(counts[2*c] + 0.5)
+		n1 := int(counts[2*c+1] + 0.5)
+		if n0 == 0 && n1 == 0 {
+			continue
+		}
+		// Merge the two shifted copies of the frontier: assign this
+		// column to Z⁺₀ (a += n0) or to Z⁺₁ (b += n1). Both copies stay
+		// sorted by a ascending, so a linear merge suffices; equal-a
+		// entries keep only the larger b.
+		next = next[:0]
+		i, j := 0, 0
+		for i < len(states) || j < len(states) {
+			var s fState
+			takeI := j >= len(states)
+			if !takeI && i < len(states) {
+				takeI = states[i].a+n0 <= states[j].a
+			}
+			if takeI {
+				s = fState{states[i].a + n0, states[i].b}
+				i++
+			} else {
+				s = fState{states[j].a, states[j].b + n1}
+				j++
+			}
+			if len(next) > 0 && next[len(next)-1].a == s.a {
+				if s.b > next[len(next)-1].b {
+					next[len(next)-1].b = s.b
+				}
+				continue
+			}
+			next = append(next, s)
+		}
+		// Prune dominated states (Definition 4.6): scanning from the
+		// largest a down, a state survives only if its b strictly
+		// exceeds every b seen so far. The survivors, reversed, are the
+		// Pareto frontier sorted by a ascending, b strictly descending.
+		states = states[:0]
+		maxB := -1
+		for k := len(next) - 1; k >= 0; k-- {
+			if next[k].b > maxB {
+				states = append(states, next[k])
+				maxB = next[k].b
+			}
+		}
+		// Restore ascending-a order for the next merge.
+		for l, r := 0, len(states)-1; l < r; l, r = l+1, r-1 {
+			states[l], states[r] = states[r], states[l]
+		}
+	}
+	best := 2.0 // anything above the max possible value of the expression
+	nf := float64(n)
+	for _, s := range states {
+		v := pos(0.5-float64(s.a)/nf) + pos(0.5-float64(s.b)/nf)
+		if v < best {
+			best = v
+		}
+	}
+	return -best
+}
+
+func pos(x float64) float64 {
+	if x > 0 {
+		return x
+	}
+	return 0
+}

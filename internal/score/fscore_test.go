@@ -1,0 +1,171 @@
+package score
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// bruteForceF enumerates every assignment of columns to Z⁺₀ / Z⁺₁ and
+// returns the exact F value — exponential in the column count, usable
+// only for small tables, and the ground truth for the DP.
+func bruteForceF(counts []float64, n int) float64 {
+	cols := len(counts) / 2
+	best := 2.0
+	for mask := 0; mask < 1<<cols; mask++ {
+		var k0, k1 float64
+		for c := 0; c < cols; c++ {
+			if mask>>c&1 == 0 {
+				k0 += counts[2*c]
+			} else {
+				k1 += counts[2*c+1]
+			}
+		}
+		v := posT(0.5-k0/float64(n)) + posT(0.5-k1/float64(n))
+		if v < best {
+			best = v
+		}
+	}
+	return -best
+}
+
+func posT(x float64) float64 {
+	if x > 0 {
+		return x
+	}
+	return 0
+}
+
+func TestFScoreMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 500; trial++ {
+		cols := 1 << (1 + rng.Intn(3)) // 2, 4 or 8 columns (k = 1..3)
+		n := 5 + rng.Intn(60)
+		counts := make([]float64, 2*cols)
+		for i := 0; i < n; i++ {
+			counts[rng.Intn(2*cols)]++
+		}
+		got := FScoreFromCounts(counts, n)
+		want := bruteForceF(counts, n)
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("trial %d (cols=%d, n=%d): DP = %v, brute force = %v\ncounts: %v",
+				trial, cols, n, got, want, counts)
+		}
+	}
+}
+
+// A maximum joint distribution (Lemma 4.3) has F = 0: half the mass in
+// each row, at most one non-zero per column.
+func TestFScoreZeroAtMaximumJointDistribution(t *testing.T) {
+	// Columns: (n/2, 0), (0, n/2).
+	n := 100
+	counts := []float64{50, 0, 0, 50}
+	if got := FScoreFromCounts(counts, n); got != 0 {
+		t.Errorf("F of maximum joint distribution = %v, want 0", got)
+	}
+}
+
+// Table 3(a) of the paper with n = 10: F = −0.2, matching the paper's
+// minimum L1 distance of 0.4 to the maximum joint distribution in
+// Table 3(b).
+func TestFScorePaperTable3(t *testing.T) {
+	// Pr[X,Π] with |Π| = 4 columns; counts for n = 10.
+	// X=0 row: .6 0 0 0 ; X=1 row: .1 .1 .1 .1
+	counts := []float64{6, 1, 0, 1, 0, 1, 0, 1}
+	got := FScoreFromCounts(counts, 10)
+	if math.Abs(got-(-0.2)) > 1e-12 {
+		t.Errorf("F(Table 3a) = %v, want -0.2", got)
+	}
+}
+
+// Independent uniform binary variables sit at L1 distance 1 from every
+// maximum joint distribution: F = −0.5.
+func TestFScoreIndependentUniform(t *testing.T) {
+	counts := []float64{25, 25, 25, 25}
+	if got := FScoreFromCounts(counts, 100); math.Abs(got-(-0.5)) > 1e-12 {
+		t.Errorf("F of independent uniform = %v, want -0.5", got)
+	}
+}
+
+func TestFScoreEmptyParentSet(t *testing.T) {
+	// Single column (no parents): best assignment puts the column's
+	// heavier row; the other side keeps its full 0.5 deficit.
+	counts := []float64{70, 30}
+	got := FScoreFromCounts(counts, 100)
+	if math.Abs(got-(-0.5)) > 1e-12 {
+		t.Errorf("F with one column = %v, want -0.5", got)
+	}
+}
+
+func TestFScoreRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 200; trial++ {
+		cols := 1 << uint(rng.Intn(4))
+		n := 1 + rng.Intn(100)
+		counts := make([]float64, 2*cols)
+		for i := 0; i < n; i++ {
+			counts[rng.Intn(2*cols)]++
+		}
+		f := FScoreFromCounts(counts, n)
+		if f > 0 || f < -1 {
+			t.Fatalf("F = %v out of range [-1, 0]", f)
+		}
+	}
+}
+
+// S(F) = 1/n (Theorem 4.5), verified on random neighboring datasets.
+func TestFScoreSensitivityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	const n = 40
+	bound := 1.0/n + 1e-12
+	for trial := 0; trial < 500; trial++ {
+		cols := 1 << (1 + rng.Intn(2))
+		counts := make([]float64, 2*cols)
+		for i := 0; i < n; i++ {
+			counts[rng.Intn(2*cols)]++
+		}
+		f1 := FScoreFromCounts(counts, n)
+		// Move one tuple.
+		for {
+			from := rng.Intn(2 * cols)
+			if counts[from] > 0 {
+				counts[from]--
+				counts[rng.Intn(2*cols)]++
+				break
+			}
+		}
+		f2 := FScoreFromCounts(counts, n)
+		if math.Abs(f1-f2) > bound {
+			t.Fatalf("trial %d: |ΔF| = %v exceeds 1/n", trial, math.Abs(f1-f2))
+		}
+	}
+}
+
+func TestFScoreEmptyDataset(t *testing.T) {
+	if got := FScoreFromCounts([]float64{0, 0}, 0); got != -0.5 {
+		t.Errorf("F on empty data = %v, want -0.5 sentinel", got)
+	}
+}
+
+// The DP must stay exact at larger scales where the state frontier
+// pruning actually kicks in.
+func TestFScoreLargeScaleAgainstGreedyBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	n := 10000
+	cols := 64 // k = 6
+	counts := make([]float64, 2*cols)
+	for i := 0; i < n; i++ {
+		counts[rng.Intn(2*cols)]++
+	}
+	f := FScoreFromCounts(counts, n)
+	if f > 0 || f < -1 {
+		t.Fatalf("F = %v out of range", f)
+	}
+	// A uniform random table is near-independent: assigning each column
+	// to one row forfeits the other row's share, so K0 + K1 ≈ 1/2 and
+	// F ≈ −1/2 — the same value as exactly independent uniform data,
+	// up to sampling noise that can only raise it.
+	if f < -0.5 || f > -0.4 {
+		t.Errorf("F = %v, expected ≈ -0.5 for balanced random table", f)
+	}
+}

@@ -1,0 +1,202 @@
+package score
+
+import (
+	"sort"
+	"testing"
+
+	"privbayes/internal/dataset"
+	"privbayes/internal/marginal"
+)
+
+// psData builds a dataset whose attribute domain sizes drive the parent
+// set caps: sizes 2, 4, 8, and 4-with-hierarchy (4 -> 2).
+func psData() *dataset.Dataset {
+	h := dataset.NewCategorical("h", []string{"a", "b", "c", "d"})
+	h.Hierarchy = dataset.NewHierarchy(4, []int{0, 0, 1, 1})
+	attrs := []dataset.Attribute{
+		dataset.NewCategorical("x2", []string{"0", "1"}),
+		dataset.NewCategorical("x4", []string{"0", "1", "2", "3"}),
+		dataset.NewCategorical("x8", []string{"0", "1", "2", "3", "4", "5", "6", "7"}),
+		h,
+	}
+	ds := dataset.New(attrs)
+	ds.Append([]uint16{0, 0, 0, 0})
+	return ds
+}
+
+// bruteMaximalSets computes Algorithm 5's answer naively: all subsets
+// within the cap, then keep only the maximal ones.
+func bruteMaximalSets(ds *dataset.Dataset, v []int, tau float64) map[string]bool {
+	var all [][]marginal.Var
+	for mask := 0; mask < 1<<len(v); mask++ {
+		var set []marginal.Var
+		size := 1.0
+		for i, a := range v {
+			if mask>>i&1 == 1 {
+				set = append(set, marginal.Var{Attr: a})
+				size *= float64(ds.Attr(a).Size())
+			}
+		}
+		if size <= tau {
+			all = append(all, set)
+		}
+	}
+	maximal := make(map[string]bool)
+	for i, s := range all {
+		isMax := true
+		for j, other := range all {
+			if i != j && strictSubset(s, other) {
+				isMax = false
+				break
+			}
+		}
+		if isMax {
+			maximal[setKey(s)] = true
+		}
+	}
+	if tau < 1 {
+		return map[string]bool{}
+	}
+	return maximal
+}
+
+func strictSubset(a, b []marginal.Var) bool {
+	if len(a) >= len(b) {
+		return false
+	}
+	bs := make(map[marginal.Var]bool, len(b))
+	for _, v := range b {
+		bs[v] = true
+	}
+	for _, v := range a {
+		if !bs[v] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMaximalParentSetsMatchesBruteForce(t *testing.T) {
+	ds := psData()
+	v := []int{0, 1, 2, 3}
+	for _, tau := range []float64{0.5, 1, 2, 4, 8, 16, 64, 1000} {
+		got := MaximalParentSets(ds, v, tau)
+		gotKeys := make(map[string]bool)
+		for _, s := range got {
+			gotKeys[setKey(s)] = true
+		}
+		want := bruteMaximalSets(ds, v, tau)
+		if len(gotKeys) != len(want) {
+			t.Fatalf("tau=%v: got %d sets %v, want %d", tau, len(gotKeys), keys(gotKeys), len(want))
+		}
+		for k := range want {
+			if !gotKeys[k] {
+				t.Fatalf("tau=%v: missing maximal set %q", tau, k)
+			}
+		}
+	}
+}
+
+func keys(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestMaximalParentSetsEdgeCases(t *testing.T) {
+	ds := psData()
+	// tau < 1: nothing fits, not even the empty set.
+	if got := MaximalParentSets(ds, []int{0}, 0.5); len(got) != 0 {
+		t.Errorf("tau < 1 should return no sets, got %v", got)
+	}
+	// Empty V: only the empty set.
+	got := MaximalParentSets(ds, nil, 10)
+	if len(got) != 1 || len(got[0]) != 0 {
+		t.Errorf("empty V should return {∅}, got %v", got)
+	}
+}
+
+func TestMaximalParentSetsRespectCap(t *testing.T) {
+	ds := psData()
+	for _, tau := range []float64{2, 8, 32} {
+		for _, s := range MaximalParentSets(ds, []int{0, 1, 2, 3}, tau) {
+			if DomainSize(ds, s) > tau {
+				t.Errorf("tau=%v: set %v has domain size %v", tau, s, DomainSize(ds, s))
+			}
+		}
+	}
+}
+
+func TestMaximalParentSetsHierarchicalUsesLevels(t *testing.T) {
+	ds := psData()
+	// With tau = 4 and V = {x2, h}: raw h (size 4) + x2 (2) = 8 > 4,
+	// but generalized h (size 2) + x2 = 4 fits.
+	sets := MaximalParentSetsHierarchical(ds, []int{0, 3}, 4)
+	foundGeneralized := false
+	for _, s := range sets {
+		if DomainSize(ds, s) > 4 {
+			t.Errorf("set %v exceeds cap", s)
+		}
+		for _, v := range s {
+			if v.Attr == 3 && v.Level == 1 {
+				foundGeneralized = true
+			}
+		}
+	}
+	if !foundGeneralized {
+		t.Errorf("expected a set using h at level 1, got %v", sets)
+	}
+}
+
+// Maximality in the hierarchical sense: no returned set may coexist with
+// an eligible variant that keeps one member at a strictly lower level.
+func TestMaximalParentSetsHierarchicalLevelMaximality(t *testing.T) {
+	ds := psData()
+	sets := MaximalParentSetsHierarchical(ds, []int{0, 1, 3}, 8)
+	seen := make(map[string]bool)
+	for _, s := range sets {
+		seen[setKey(s)] = true
+	}
+	for _, s := range sets {
+		for i, v := range s {
+			if v.Level == 0 {
+				continue
+			}
+			// Lowering the level of one member must break the cap —
+			// otherwise s was not maximal.
+			lowered := append([]marginal.Var(nil), s...)
+			lowered[i] = marginal.Var{Attr: v.Attr, Level: v.Level - 1}
+			if DomainSize(ds, lowered) <= 8 {
+				t.Errorf("set %v not maximal: lowered variant %v still fits", s, lowered)
+			}
+		}
+	}
+}
+
+func TestMaximalParentSetsNoDuplicates(t *testing.T) {
+	ds := psData()
+	sets := MaximalParentSetsHierarchical(ds, []int{0, 1, 2, 3}, 16)
+	seen := make(map[string]bool)
+	for _, s := range sets {
+		k := setKey(s)
+		if seen[k] {
+			t.Fatalf("duplicate set %q", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestDomainSize(t *testing.T) {
+	ds := psData()
+	set := []marginal.Var{{Attr: 1}, {Attr: 2}}
+	if got := DomainSize(ds, set); got != 32 {
+		t.Errorf("DomainSize = %v, want 32", got)
+	}
+	gen := []marginal.Var{{Attr: 3, Level: 1}}
+	if got := DomainSize(ds, gen); got != 2 {
+		t.Errorf("generalized DomainSize = %v, want 2", got)
+	}
+}

@@ -1,0 +1,282 @@
+package score
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"privbayes/internal/dataset"
+	"privbayes/internal/infotheory"
+	"privbayes/internal/marginal"
+)
+
+// binaryData builds a small all-binary dataset with correlations.
+func binaryData(n int, seed int64) *dataset.Dataset {
+	attrs := []dataset.Attribute{
+		dataset.NewCategorical("a", []string{"0", "1"}),
+		dataset.NewCategorical("b", []string{"0", "1"}),
+		dataset.NewCategorical("c", []string{"0", "1"}),
+	}
+	ds := dataset.New(attrs)
+	rng := rand.New(rand.NewSource(seed))
+	rec := make([]uint16, 3)
+	for i := 0; i < n; i++ {
+		a := rng.Intn(2)
+		b := a
+		if rng.Float64() < 0.2 {
+			b = 1 - a
+		}
+		c := rng.Intn(2)
+		rec[0], rec[1], rec[2] = uint16(a), uint16(b), uint16(c)
+		ds.Append(rec)
+	}
+	return ds
+}
+
+func TestSensitivityFormulas(t *testing.T) {
+	n := 1000
+	fn := float64(n)
+	wantBinary := math.Log2(fn)/fn + (fn-1)/fn*math.Log2(fn/(fn-1))
+	if got := SensitivityI(n, true); math.Abs(got-wantBinary) > 1e-15 {
+		t.Errorf("S(I) binary = %v, want %v", got, wantBinary)
+	}
+	wantGeneral := 2/fn*math.Log2((fn+1)/2) + (fn-1)/fn*math.Log2((fn+1)/(fn-1))
+	if got := SensitivityI(n, false); math.Abs(got-wantGeneral) > 1e-15 {
+		t.Errorf("S(I) general = %v, want %v", got, wantGeneral)
+	}
+	if got := SensitivityF(n); got != 1.0/fn {
+		t.Errorf("S(F) = %v", got)
+	}
+	if got := SensitivityR(n); math.Abs(got-(3/fn+2/(fn*fn))) > 1e-18 {
+		t.Errorf("S(R) = %v", got)
+	}
+}
+
+// The paper's key sensitivity ordering: S(F) < S(R) ≪ S(I) (Section 5.3,
+// Table 4): S(F) is less than a third of S(R), and both are below
+// S(I)/log(n)-ish scale.
+func TestSensitivityOrdering(t *testing.T) {
+	for _, n := range []int{100, 10000, 1000000} {
+		sf, sr, si := SensitivityF(n), SensitivityR(n), SensitivityI(n, true)
+		if !(sf < sr && sr < si) {
+			t.Errorf("n=%d: want S(F) < S(R) < S(I), got %v, %v, %v", n, sf, sr, si)
+		}
+		if sf > sr/3+1e-12 {
+			t.Errorf("n=%d: S(F) should be at most a third of S(R)", n)
+		}
+		if si < math.Log2(float64(n))/float64(n) {
+			t.Errorf("n=%d: S(I) must exceed log(n)/n (Section 4.3)", n)
+		}
+	}
+}
+
+// Lemma 4.1's binary-case bound is achieved by the Table 7 example.
+func TestSensitivityIAchievedByTable7Example(t *testing.T) {
+	n := 101.0
+	// Layout rows = π ∈ {0,1,2}, cols = x ∈ {0,1}; I computed with X last.
+	d1 := jointTable([][]float64{{1 / n, 0}, {0, (n - 1) / n}, {0, 0}})
+	d2 := jointTable([][]float64{{0, 0}, {0, (n - 1) / n}, {0, 1 / n}})
+	gap := math.Abs(infotheory.MutualInformationSplit(d1) - infotheory.MutualInformationSplit(d2))
+	want := SensitivityI(int(n), true)
+	if math.Abs(gap-want) > 1e-12 {
+		t.Errorf("Table 7 neighboring pair: ΔI = %v, S(I) = %v", gap, want)
+	}
+}
+
+// Lemma 4.1's general-case bound is achieved by the Table 6 example.
+func TestSensitivityIAchievedByTable6Example(t *testing.T) {
+	n := 101.0 // odd so (n−1)/2 is integral
+	h := (n - 1) / (2 * n)
+	d1 := jointTable([][]float64{{1 / n, 0, 0}, {0, 0, h}, {0, h, 0}})
+	d2 := jointTable([][]float64{{0, 0, 0}, {0, 0, h}, {0, h, 1 / n}})
+	gap := math.Abs(infotheory.MutualInformationSplit(d1) - infotheory.MutualInformationSplit(d2))
+	want := SensitivityI(int(n), false)
+	if math.Abs(gap-want) > 1e-12 {
+		t.Errorf("Table 6 neighboring pair: ΔI = %v, S(I) = %v", gap, want)
+	}
+}
+
+// jointTable builds a [Π, X] table from rows = π, cols = x.
+func jointTable(p [][]float64) *marginal.Table {
+	rows, cols := len(p), len(p[0])
+	flat := make([]float64, 0, rows*cols)
+	for _, r := range p {
+		flat = append(flat, r...)
+	}
+	return &marginal.Table{
+		Vars: []marginal.Var{{Attr: 1}, {Attr: 0}},
+		Dims: []int{rows, cols},
+		P:    flat,
+	}
+}
+
+func TestRScoreKnownValues(t *testing.T) {
+	// Independent: R = 0.
+	ind := jointTable([][]float64{{0.25, 0.25}, {0.25, 0.25}})
+	if got := RScore(ind); got > 1e-12 {
+		t.Errorf("R of independent = %v, want 0", got)
+	}
+	// Identity coupling: product is uniform 0.25, L1 = 1, R = 0.5.
+	id := jointTable([][]float64{{0.5, 0}, {0, 0.5}})
+	if got := RScore(id); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("R of identity = %v, want 0.5", got)
+	}
+}
+
+// The reviewer's Pinsker-inequality bound at the end of Section 5:
+// R(X,Π) ≤ sqrt(ln2/2 · I(X,Π)).
+func TestRScorePinskerBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 300; trial++ {
+		rows, cols := 2+rng.Intn(4), 2+rng.Intn(3)
+		p := make([][]float64, rows)
+		var sum float64
+		for i := range p {
+			p[i] = make([]float64, cols)
+			for j := range p[i] {
+				p[i][j] = rng.Float64()
+				sum += p[i][j]
+			}
+		}
+		for i := range p {
+			for j := range p[i] {
+				p[i][j] /= sum
+			}
+		}
+		joint := jointTable(p)
+		r := RScore(joint)
+		i := infotheory.MutualInformationSplit(joint)
+		bound := math.Sqrt(math.Ln2 / 2 * i)
+		if r > bound+1e-9 {
+			t.Fatalf("trial %d: R = %v exceeds Pinsker bound %v (I = %v)", trial, r, bound, i)
+		}
+	}
+}
+
+// S(R) ≤ 3/n + 2/n² (Theorem 5.3), verified on random neighboring
+// datasets.
+func TestRScoreSensitivityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	const n = 60
+	bound := SensitivityR(n)
+	for trial := 0; trial < 300; trial++ {
+		rows, cols := 2+rng.Intn(3), 2+rng.Intn(3)
+		counts := randomCounts(rng, rows, cols, n)
+		r1 := RScore(countsToJoint(counts, n))
+		moveOneTuple(rng, counts)
+		r2 := RScore(countsToJoint(counts, n))
+		if math.Abs(r1-r2) > bound+1e-12 {
+			t.Fatalf("trial %d: |ΔR| = %v exceeds S(R) = %v", trial, math.Abs(r1-r2), bound)
+		}
+	}
+}
+
+// S(I) bound of Lemma 4.1, verified on random neighboring datasets.
+func TestMISensitivityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	const n = 60
+	bound := SensitivityI(n, false)
+	for trial := 0; trial < 300; trial++ {
+		rows, cols := 2+rng.Intn(3), 2+rng.Intn(3)
+		counts := randomCounts(rng, rows, cols, n)
+		i1 := infotheory.MutualInformationSplit(countsToJoint(counts, n))
+		moveOneTuple(rng, counts)
+		i2 := infotheory.MutualInformationSplit(countsToJoint(counts, n))
+		if math.Abs(i1-i2) > bound+1e-12 {
+			t.Fatalf("trial %d: |ΔI| = %v exceeds S(I) = %v", trial, math.Abs(i1-i2), bound)
+		}
+	}
+}
+
+func randomCounts(rng *rand.Rand, rows, cols, n int) [][]int {
+	counts := make([][]int, rows)
+	for i := range counts {
+		counts[i] = make([]int, cols)
+	}
+	for t := 0; t < n; t++ {
+		counts[rng.Intn(rows)][rng.Intn(cols)]++
+	}
+	return counts
+}
+
+func moveOneTuple(rng *rand.Rand, counts [][]int) {
+	rows, cols := len(counts), len(counts[0])
+	for {
+		i, j := rng.Intn(rows), rng.Intn(cols)
+		if counts[i][j] > 0 {
+			counts[i][j]--
+			counts[rng.Intn(rows)][rng.Intn(cols)]++
+			return
+		}
+	}
+}
+
+func countsToJoint(counts [][]int, n int) *marginal.Table {
+	p := make([][]float64, len(counts))
+	for i := range counts {
+		p[i] = make([]float64, len(counts[i]))
+		for j, c := range counts[i] {
+			p[i][j] = float64(c) / float64(n)
+		}
+	}
+	return jointTable(p)
+}
+
+func TestScorerCacheAndOrderInvariance(t *testing.T) {
+	ds := binaryData(500, 14)
+	sc := NewScorer(R, ds)
+	x := marginal.Var{Attr: 0}
+	p1 := []marginal.Var{{Attr: 1}, {Attr: 2}}
+	p2 := []marginal.Var{{Attr: 2}, {Attr: 1}}
+	v1 := sc.Score(x, p1)
+	v2 := sc.Score(x, p2)
+	if v1 != v2 {
+		t.Errorf("parent order must not matter: %v vs %v", v1, v2)
+	}
+	if sc.CacheSize() != 1 {
+		t.Errorf("cache size = %d, want 1 (canonical key)", sc.CacheSize())
+	}
+}
+
+func TestScorerFRejectsNonBinary(t *testing.T) {
+	attrs := []dataset.Attribute{
+		dataset.NewCategorical("a", []string{"0", "1"}),
+		dataset.NewCategorical("b", []string{"x", "y", "z"}),
+	}
+	ds := dataset.New(attrs)
+	ds.Append([]uint16{0, 1})
+	sc := NewScorer(F, ds)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-binary attribute under F")
+		}
+	}()
+	sc.Score(marginal.Var{Attr: 0}, []marginal.Var{{Attr: 1}})
+}
+
+func TestScorerSensitivitySelection(t *testing.T) {
+	ds := binaryData(100, 15)
+	if got := NewScorer(F, ds).Sensitivity(); got != SensitivityF(100) {
+		t.Error("F scorer sensitivity wrong")
+	}
+	if got := NewScorer(R, ds).Sensitivity(); got != SensitivityR(100) {
+		t.Error("R scorer sensitivity wrong")
+	}
+	if got := NewScorer(MI, ds).Sensitivity(); got != SensitivityI(100, true) {
+		t.Error("MI scorer on binary data should use the binary bound")
+	}
+}
+
+// The three scorers agree on ranking for a strongly correlated vs an
+// independent pair.
+func TestScorersAgreeOnObviousRanking(t *testing.T) {
+	ds := binaryData(2000, 16)
+	for _, fn := range []Function{MI, F, R} {
+		sc := NewScorer(fn, ds)
+		corr := sc.Score(marginal.Var{Attr: 1}, []marginal.Var{{Attr: 0}})  // b ≈ a
+		indep := sc.Score(marginal.Var{Attr: 2}, []marginal.Var{{Attr: 0}}) // c independent
+		if corr <= indep {
+			t.Errorf("%v: correlated pair scored %v <= independent %v", fn, corr, indep)
+		}
+	}
+}

@@ -1,0 +1,226 @@
+// Package svm implements the linear classifiers the evaluation task
+// needs: a hinge-loss C-SVM trained with Pegasos-style projected
+// stochastic subgradient descent (used by PrivBayes, PrivGene and
+// NoPrivacy), and a Huber-loss SVM trained with batch gradient descent
+// (used by PrivateERM, which requires a differentiable loss).
+package svm
+
+import (
+	"math"
+	"math/rand"
+
+	"privbayes/internal/dataset"
+)
+
+// Example is one featurized record: the indices of its active one-hot
+// features (every feature has value featValue) and a ±1 label.
+type Example struct {
+	Features []int32
+	Label    int8
+}
+
+// Problem is a featurized classification dataset.
+type Problem struct {
+	Examples  []Example
+	Dim       int     // number of features, including the bias at index Dim-1
+	FeatValue float64 // value of each active feature (1/√k keeps ‖x‖ = 1)
+}
+
+// Featurize one-hot encodes every attribute except the target into a
+// sparse problem, with labels from positive(code) on the target
+// attribute. Feature vectors are scaled to unit L2 norm, the
+// normalization PrivateERM's privacy analysis requires; the same
+// features feed all classifiers for comparability.
+func Featurize(ds *dataset.Dataset, target int, positive func(code int) bool) *Problem {
+	d := ds.D()
+	offsets := make([]int, d)
+	dim := 0
+	for a := 0; a < d; a++ {
+		if a == target {
+			offsets[a] = -1
+			continue
+		}
+		offsets[a] = dim
+		dim += ds.Attr(a).Size()
+	}
+	bias := dim
+	dim++
+	active := d // d-1 attribute features + bias
+	p := &Problem{Dim: dim, FeatValue: 1 / math.Sqrt(float64(active))}
+	p.Examples = make([]Example, ds.N())
+	for r := 0; r < ds.N(); r++ {
+		feats := make([]int32, 0, active)
+		for a := 0; a < d; a++ {
+			if a == target {
+				continue
+			}
+			feats = append(feats, int32(offsets[a]+ds.Value(r, a)))
+		}
+		feats = append(feats, int32(bias))
+		label := int8(-1)
+		if positive(ds.Value(r, target)) {
+			label = 1
+		}
+		p.Examples[r] = Example{Features: feats, Label: label}
+	}
+	return p
+}
+
+// Model is a linear classifier over the featurized space.
+type Model struct {
+	W []float64
+}
+
+// Score returns w·x for an example.
+func (m *Model) Score(p *Problem, e Example) float64 {
+	var s float64
+	for _, f := range e.Features {
+		s += m.W[f]
+	}
+	return s * p.FeatValue
+}
+
+// Predict returns the ±1 prediction.
+func (m *Model) Predict(p *Problem, e Example) int8 {
+	if m.Score(p, e) >= 0 {
+		return 1
+	}
+	return -1
+}
+
+// MisclassificationRate is the paper's classification error metric: the
+// fraction of test examples predicted incorrectly.
+func MisclassificationRate(m *Model, p *Problem) float64 {
+	if len(p.Examples) == 0 {
+		return 0
+	}
+	wrong := 0
+	for _, e := range p.Examples {
+		if m.Predict(p, e) != e.Label {
+			wrong++
+		}
+	}
+	return float64(wrong) / float64(len(p.Examples))
+}
+
+// TrainHinge trains a hinge-loss C-SVM (the paper's standard C-SVM with
+// C = 1) by Pegasos: regularization λ = 1/(C·n), step 1/(λt), with the
+// optional ball projection that gives Pegasos its convergence rate.
+func TrainHinge(p *Problem, c float64, epochs int, rng *rand.Rand) *Model {
+	n := len(p.Examples)
+	m := &Model{W: make([]float64, p.Dim)}
+	if n == 0 {
+		return m
+	}
+	lambda := 1 / (c * float64(n))
+	maxNorm := 1 / math.Sqrt(lambda)
+	var norm2 float64
+	scale := 1.0 // lazy multiplicative shrinkage: effective w = scale * W
+	// Start at t = 2: at t = 1 the shrink factor 1 − ηλ is exactly zero,
+	// which only resets a still-zero weight vector but destroys the
+	// numerical conditioning of the lazy scale.
+	t := 2
+	for ep := 0; ep < epochs; ep++ {
+		for it := 0; it < n; it++ {
+			e := p.Examples[rng.Intn(n)]
+			eta := 1 / (lambda * float64(t))
+			var s float64
+			for _, f := range e.Features {
+				s += m.W[f]
+			}
+			s *= scale * p.FeatValue
+			// Shrink: w ← (1 − ηλ)w.
+			shrink := 1 - eta*lambda
+			if shrink < 1e-12 {
+				shrink = 1e-12
+			}
+			scale *= shrink
+			norm2 *= shrink * shrink
+			if float64(e.Label)*s < 1 {
+				g := eta * float64(e.Label) * p.FeatValue / scale
+				for _, f := range e.Features {
+					old := m.W[f]
+					m.W[f] = old + g
+					norm2 += scale * scale * (2*old*g + g*g)
+				}
+			}
+			if norm2 > maxNorm*maxNorm {
+				proj := maxNorm / math.Sqrt(norm2)
+				scale *= proj
+				norm2 = maxNorm * maxNorm
+			}
+			t++
+		}
+	}
+	for i := range m.W {
+		m.W[i] *= scale
+	}
+	return m
+}
+
+// HuberLoss evaluates the Huber-smoothed hinge loss of Chaudhuri et al.
+// (2011) at margin z = y·w·x with smoothing parameter h.
+func HuberLoss(z, h float64) float64 {
+	switch {
+	case z > 1+h:
+		return 0
+	case z < 1-h:
+		return 1 - z
+	default:
+		d := 1 + h - z
+		return d * d / (4 * h)
+	}
+}
+
+// HuberLossDeriv is dℓ/dz for HuberLoss.
+func HuberLossDeriv(z, h float64) float64 {
+	switch {
+	case z > 1+h:
+		return 0
+	case z < 1-h:
+		return -1
+	default:
+		return -(1 + h - z) / (2 * h)
+	}
+}
+
+// TrainHuber minimizes (1/n)Σ ℓ_huber(y·w·x) + (λ/2)‖w‖² + b·w/n by
+// batch gradient descent. The linear perturbation vector b implements
+// PrivateERM's objective perturbation; pass nil for the non-private
+// regularized SVM.
+func TrainHuber(p *Problem, lambda, h float64, b []float64, iters int) *Model {
+	n := float64(len(p.Examples))
+	m := &Model{W: make([]float64, p.Dim)}
+	if n == 0 {
+		return m
+	}
+	grad := make([]float64, p.Dim)
+	// Lipschitz bound of the gradient: 1/(2h) from the loss (times
+	// ‖x‖² = 1) plus λ from the regularizer.
+	step := 1 / (1/(2*h) + lambda)
+	for it := 0; it < iters; it++ {
+		for i := range grad {
+			grad[i] = lambda * m.W[i]
+			if b != nil {
+				grad[i] += b[i] / n
+			}
+		}
+		for _, e := range p.Examples {
+			var s float64
+			for _, f := range e.Features {
+				s += m.W[f]
+			}
+			s *= p.FeatValue
+			g := HuberLossDeriv(float64(e.Label)*s, h) * float64(e.Label) * p.FeatValue / n
+			if g != 0 {
+				for _, f := range e.Features {
+					grad[f] += g
+				}
+			}
+		}
+		for i := range m.W {
+			m.W[i] -= step * grad[i]
+		}
+	}
+	return m
+}

@@ -1,0 +1,170 @@
+package svm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"privbayes/internal/dataset"
+)
+
+// separableData builds a dataset where the label is a deterministic
+// function of two features — linearly separable in one-hot space.
+func separableData(n int, noise float64, seed int64) *dataset.Dataset {
+	attrs := []dataset.Attribute{
+		dataset.NewCategorical("f1", []string{"0", "1", "2"}),
+		dataset.NewCategorical("f2", []string{"0", "1"}),
+		dataset.NewCategorical("junk", []string{"0", "1", "2", "3"}),
+		dataset.NewCategorical("label", []string{"neg", "pos"}),
+	}
+	ds := dataset.New(attrs)
+	rng := rand.New(rand.NewSource(seed))
+	rec := make([]uint16, 4)
+	for i := 0; i < n; i++ {
+		f1 := rng.Intn(3)
+		f2 := rng.Intn(2)
+		y := 0
+		if f1 == 2 || f2 == 1 {
+			y = 1
+		}
+		if rng.Float64() < noise {
+			y = 1 - y
+		}
+		rec[0], rec[1], rec[2], rec[3] = uint16(f1), uint16(f2), uint16(rng.Intn(4)), uint16(y)
+		ds.Append(rec)
+	}
+	return ds
+}
+
+func TestFeaturizeShape(t *testing.T) {
+	ds := separableData(100, 0, 1)
+	p := Featurize(ds, 3, func(c int) bool { return c == 1 })
+	// Features: 3 + 2 + 4 one-hot + 1 bias = 10.
+	if p.Dim != 10 {
+		t.Fatalf("dim = %d, want 10", p.Dim)
+	}
+	if len(p.Examples) != 100 {
+		t.Fatalf("examples = %d", len(p.Examples))
+	}
+	// Each example: 3 attribute features + bias.
+	for _, e := range p.Examples {
+		if len(e.Features) != 4 {
+			t.Fatalf("active features = %d, want 4", len(e.Features))
+		}
+		if e.Label != 1 && e.Label != -1 {
+			t.Fatalf("label = %d", e.Label)
+		}
+	}
+	// Unit norm: 4 active features scaled by 1/sqrt(4).
+	if math.Abs(p.FeatValue-0.5) > 1e-12 {
+		t.Errorf("FeatValue = %v, want 0.5", p.FeatValue)
+	}
+}
+
+func TestTrainHingeSeparable(t *testing.T) {
+	train := separableData(4000, 0, 2)
+	test := separableData(1000, 0, 3)
+	pos := func(c int) bool { return c == 1 }
+	m := TrainHinge(Featurize(train, 3, pos), 1, 5, rand.New(rand.NewSource(4)))
+	mcr := MisclassificationRate(m, Featurize(test, 3, pos))
+	if mcr > 0.02 {
+		t.Errorf("separable MCR = %v, want ≈ 0", mcr)
+	}
+}
+
+func TestTrainHingeNoisyStillLearns(t *testing.T) {
+	train := separableData(4000, 0.1, 5)
+	test := separableData(1000, 0, 6)
+	pos := func(c int) bool { return c == 1 }
+	m := TrainHinge(Featurize(train, 3, pos), 1, 5, rand.New(rand.NewSource(7)))
+	mcr := MisclassificationRate(m, Featurize(test, 3, pos))
+	if mcr > 0.1 {
+		t.Errorf("10%%-noise MCR = %v, want < 0.1", mcr)
+	}
+}
+
+func TestTrainHingeEmptyProblem(t *testing.T) {
+	p := &Problem{Dim: 3, FeatValue: 1}
+	m := TrainHinge(p, 1, 3, rand.New(rand.NewSource(8)))
+	if len(m.W) != 3 {
+		t.Error("empty problem should return zero model of right dim")
+	}
+}
+
+func TestHuberLossShape(t *testing.T) {
+	const h = 0.5
+	// Piecewise values.
+	if HuberLoss(2, h) != 0 {
+		t.Error("loss beyond 1+h must be 0")
+	}
+	if got := HuberLoss(0, h); math.Abs(got-1) > 1e-12 {
+		t.Errorf("loss at 0 = %v, want 1 (linear region)", got)
+	}
+	// Continuity at the knots.
+	for _, z := range []float64{1 - h, 1 + h} {
+		lo := HuberLoss(z-1e-9, h)
+		hi := HuberLoss(z+1e-9, h)
+		if math.Abs(lo-hi) > 1e-6 {
+			t.Errorf("loss discontinuous at %v: %v vs %v", z, lo, hi)
+		}
+		dlo := HuberLossDeriv(z-1e-9, h)
+		dhi := HuberLossDeriv(z+1e-9, h)
+		if math.Abs(dlo-dhi) > 1e-6 {
+			t.Errorf("derivative discontinuous at %v", z)
+		}
+	}
+	// Derivative matches finite differences in the quadratic region.
+	z := 1.1
+	fd := (HuberLoss(z+1e-6, h) - HuberLoss(z-1e-6, h)) / 2e-6
+	if math.Abs(fd-HuberLossDeriv(z, h)) > 1e-5 {
+		t.Errorf("derivative %v vs finite difference %v", HuberLossDeriv(z, h), fd)
+	}
+}
+
+func TestTrainHuberSeparable(t *testing.T) {
+	train := separableData(3000, 0, 9)
+	test := separableData(800, 0, 10)
+	pos := func(c int) bool { return c == 1 }
+	m := TrainHuber(Featurize(train, 3, pos), 1e-3, 0.5, nil, 200)
+	mcr := MisclassificationRate(m, Featurize(test, 3, pos))
+	if mcr > 0.02 {
+		t.Errorf("Huber separable MCR = %v", mcr)
+	}
+}
+
+func TestTrainHuberObjectiveDecreases(t *testing.T) {
+	train := separableData(1000, 0.05, 11)
+	pos := func(c int) bool { return c == 1 }
+	p := Featurize(train, 3, pos)
+	obj := func(m *Model) float64 {
+		var loss float64
+		for _, e := range p.Examples {
+			loss += HuberLoss(float64(e.Label)*m.Score(p, e), 0.5)
+		}
+		loss /= float64(len(p.Examples))
+		var reg float64
+		for _, w := range m.W {
+			reg += w * w
+		}
+		return loss + 0.5e-3*reg
+	}
+	m10 := TrainHuber(p, 1e-3, 0.5, nil, 10)
+	m200 := TrainHuber(p, 1e-3, 0.5, nil, 200)
+	if obj(m200) > obj(m10)+1e-9 {
+		t.Errorf("objective increased with more iterations: %v -> %v", obj(m10), obj(m200))
+	}
+}
+
+func TestMisclassificationRateBounds(t *testing.T) {
+	ds := separableData(200, 0, 12)
+	pos := func(c int) bool { return c == 1 }
+	p := Featurize(ds, 3, pos)
+	zero := &Model{W: make([]float64, p.Dim)}
+	mcr := MisclassificationRate(zero, p)
+	if mcr < 0 || mcr > 1 {
+		t.Errorf("MCR = %v out of [0,1]", mcr)
+	}
+	if MisclassificationRate(zero, &Problem{Dim: p.Dim}) != 0 {
+		t.Error("empty test set should give 0")
+	}
+}

@@ -1,0 +1,58 @@
+package workload
+
+import (
+	"math/rand"
+
+	"privbayes/internal/baseline"
+	"privbayes/internal/dataset"
+	"privbayes/internal/marginal"
+)
+
+// Evaluator scores marginal sources against a fixed real dataset for one
+// query set Qα. It caches the ground-truth marginals, and can evaluate a
+// uniform random sample of the query set when the full set is too large
+// to re-materialize per method per run (the paper averages over all
+// queries; sampling estimates the same mean).
+type Evaluator struct {
+	real    *dataset.Dataset
+	Alpha   int
+	Subsets [][]int
+	truth   []*marginal.Table
+}
+
+// NewEvaluator prepares an evaluator. maxSubsets > 0 samples that many
+// subsets of Qα without replacement (using rng); 0 keeps the full set.
+func NewEvaluator(real *dataset.Dataset, alpha, maxSubsets int, rng *rand.Rand) *Evaluator {
+	subsets := baseline.Subsets(real.D(), alpha)
+	if maxSubsets > 0 && maxSubsets < len(subsets) {
+		perm := rng.Perm(len(subsets))[:maxSubsets]
+		picked := make([][]int, maxSubsets)
+		for i, j := range perm {
+			picked[i] = subsets[j]
+		}
+		subsets = picked
+	}
+	e := &Evaluator{real: real, Alpha: alpha, Subsets: subsets}
+	e.truth = make([]*marginal.Table, len(subsets))
+	for i, attrs := range subsets {
+		vars := make([]marginal.Var, len(attrs))
+		for j, a := range attrs {
+			vars[j] = marginal.Var{Attr: a}
+		}
+		e.truth[i] = marginal.Materialize(real, vars)
+	}
+	return e
+}
+
+// AVD returns the average total-variation distance of the source's
+// answers over the evaluator's query subsets.
+func (e *Evaluator) AVD(src baseline.MarginalSource) float64 {
+	if len(e.Subsets) == 0 {
+		return 0
+	}
+	var sum float64
+	for i, attrs := range e.Subsets {
+		sum += marginal.TVD(e.truth[i], src.Marginal(attrs))
+	}
+	return sum / float64(len(e.Subsets))
+}

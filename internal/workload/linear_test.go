@@ -1,0 +1,92 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"privbayes/internal/data"
+	"privbayes/internal/dataset"
+)
+
+func TestLinearQueryEvaluate(t *testing.T) {
+	attrs := []dataset.Attribute{
+		dataset.NewCategorical("a", []string{"0", "1"}),
+		dataset.NewCategorical("b", []string{"0", "1", "2"}),
+	}
+	ds := dataset.New(attrs)
+	ds.Append([]uint16{0, 2})
+	ds.Append([]uint16{1, 0})
+	q := LinearQuery{
+		Attrs:  []int{0, 1},
+		Coeffs: [][]float64{{0.5, 1.0}, {0.1, 0.2, 0.3}},
+	}
+	// Row 1: 0.5*0.3 = 0.15; row 2: 1.0*0.1 = 0.1; mean = 0.125.
+	if got := q.Evaluate(ds); math.Abs(got-0.125) > 1e-12 {
+		t.Errorf("Evaluate = %v, want 0.125", got)
+	}
+}
+
+func TestLinearQueryEmptyDataset(t *testing.T) {
+	ds := dataset.New([]dataset.Attribute{dataset.NewCategorical("a", []string{"0", "1"})})
+	q := LinearQuery{Attrs: []int{0}, Coeffs: [][]float64{{1, 1}}}
+	if q.Evaluate(ds) != 0 {
+		t.Error("empty dataset should answer 0")
+	}
+}
+
+func TestNewLinearQueriesShape(t *testing.T) {
+	spec, _ := data.ByName("NLTCS")
+	ds := spec.GenerateN(100)
+	qs := NewLinearQueries(ds, 25, 3, rand.New(rand.NewSource(1)))
+	if len(qs) != 25 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	for _, q := range qs {
+		if len(q.Attrs) != 3 || len(q.Coeffs) != 3 {
+			t.Fatal("query width wrong")
+		}
+		seen := map[int]bool{}
+		for i, a := range q.Attrs {
+			if seen[a] {
+				t.Fatal("duplicate attribute in query")
+			}
+			seen[a] = true
+			if len(q.Coeffs[i]) != ds.Attr(a).Size() {
+				t.Fatal("coefficient vector size mismatch")
+			}
+		}
+	}
+}
+
+func TestAvgLinearQueryErrorProperties(t *testing.T) {
+	spec, _ := data.ByName("NLTCS")
+	ds := spec.GenerateN(2000)
+	qs := NewLinearQueries(ds, 40, 3, rand.New(rand.NewSource(2)))
+	if got := AvgLinearQueryError(ds, ds, qs); got != 0 {
+		t.Errorf("self error = %v", got)
+	}
+	// A fresh sample from the same distribution should answer closely;
+	// a shuffled-column (independence-breaking) copy should not.
+	same := spec.GenerateN(2000)
+	near := AvgLinearQueryError(ds, same, qs)
+	if near > 0.02 {
+		t.Errorf("same-distribution error = %v, want small", near)
+	}
+	perm := ds.Clone()
+	// Destroy correlations by shuffling one column independently.
+	rng := rand.New(rand.NewSource(3))
+	col := append([]uint16(nil), perm.Column(0)...)
+	rng.Shuffle(len(col), func(i, j int) { col[i], col[j] = col[j], col[i] })
+	broken := dataset.New(ds.Attrs())
+	rec := make([]uint16, ds.D())
+	for r := 0; r < ds.N(); r++ {
+		rec = ds.Record(r, rec)
+		rec[0] = col[r]
+		broken.Append(rec)
+	}
+	far := AvgLinearQueryError(ds, broken, qs)
+	if far <= near {
+		t.Errorf("correlation-breaking copy (%v) should answer worse than resample (%v)", far, near)
+	}
+}

@@ -1,0 +1,104 @@
+// Package workload defines the paper's two evaluation tasks
+// (Section 6.1): answering all α-way marginal queries Qα, scored by the
+// average total-variation distance against the sensitive data, and
+// training multiple SVM classifiers on released data, scored by
+// misclassification rate on a holdout.
+package workload
+
+import (
+	"fmt"
+
+	"privbayes/internal/baseline"
+	"privbayes/internal/dataset"
+	"privbayes/internal/marginal"
+)
+
+// AvgVariationDistance evaluates a marginal source against the real
+// dataset over the full query set Qα, returning the mean total-variation
+// distance (the paper's "average variation distance").
+func AvgVariationDistance(real *dataset.Dataset, src baseline.MarginalSource, alpha int) float64 {
+	subsets := baseline.Subsets(real.D(), alpha)
+	if len(subsets) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, attrs := range subsets {
+		vars := make([]marginal.Var, len(attrs))
+		for i, a := range attrs {
+			vars[i] = marginal.Var{Attr: a}
+		}
+		truth := marginal.Materialize(real, vars)
+		est := src.Marginal(attrs)
+		sum += marginal.TVD(truth, est)
+	}
+	return sum / float64(len(subsets))
+}
+
+// Task is one binary classification task of Section 6.1: predict
+// whether the target attribute's code is in the positive class, from all
+// other attributes.
+type Task struct {
+	Dataset  string
+	Name     string // the paper's Y label, e.g. "outside"
+	Attr     string // target attribute name
+	Positive func(code int) bool
+}
+
+// Tasks returns the paper's four classification tasks for a dataset.
+func Tasks(dsName string) ([]Task, error) {
+	switch dsName {
+	case "NLTCS":
+		// Predict inability (code 1 = "unable") for four activities.
+		mk := func(name string) Task {
+			return Task{Dataset: dsName, Name: name, Attr: name, Positive: func(c int) bool { return c == 1 }}
+		}
+		return []Task{mk("outside"), mk("traveling"), mk("bathing"), mk("money")}, nil
+	case "ACS":
+		mk := func(name string) Task {
+			return Task{Dataset: dsName, Name: name, Attr: name, Positive: func(c int) bool { return c == 1 }}
+		}
+		return []Task{mk("dwelling"), mk("mortgage"), mk("multigen"), mk("school")}, nil
+	case "Adult":
+		return []Task{
+			{Dataset: dsName, Name: "gender", Attr: "sex", Positive: func(c int) bool { return c == 0 }},    // Female
+			{Dataset: dsName, Name: "salary", Attr: "salary", Positive: func(c int) bool { return c == 1 }}, // >50K
+			// Post-secondary degree: Bachelors(12)..Doctorate(15).
+			{Dataset: dsName, Name: "education", Attr: "education", Positive: func(c int) bool { return c >= 12 }},
+			{Dataset: dsName, Name: "marital", Attr: "marital", Positive: func(c int) bool { return c == 0 }}, // Never-married
+		}, nil
+	case "BR2000":
+		return []Task{
+			{Dataset: dsName, Name: "religion", Attr: "religion", Positive: func(c int) bool { return c == 0 }}, // Catholic
+			{Dataset: dsName, Name: "car", Attr: "car", Positive: func(c int) bool { return c == 1 }},
+			// At least one child: bins above the zero bin (domain 0..8 in 8 bins).
+			{Dataset: dsName, Name: "child", Attr: "children", Positive: func(c int) bool { return c >= 1 }},
+			// Older than 20: age bins are 6 years wide over [0, 96].
+			{Dataset: dsName, Name: "age", Attr: "age", Positive: func(c int) bool { return c >= 4 }},
+		}, nil
+	default:
+		return nil, fmt.Errorf("workload: no tasks defined for dataset %q", dsName)
+	}
+}
+
+// TaskByName finds one task of a dataset.
+func TaskByName(dsName, name string) (Task, error) {
+	tasks, err := Tasks(dsName)
+	if err != nil {
+		return Task{}, err
+	}
+	for _, t := range tasks {
+		if t.Name == name {
+			return t, nil
+		}
+	}
+	return Task{}, fmt.Errorf("workload: dataset %s has no task %q", dsName, name)
+}
+
+// TargetIndex resolves the task's target attribute in a dataset.
+func (t Task) TargetIndex(ds *dataset.Dataset) (int, error) {
+	idx := ds.AttrIndex(t.Attr)
+	if idx < 0 {
+		return 0, fmt.Errorf("workload: dataset has no attribute %q for task %s", t.Attr, t.Name)
+	}
+	return idx, nil
+}

@@ -1,0 +1,105 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"privbayes/internal/baseline"
+	"privbayes/internal/data"
+	"privbayes/internal/dataset"
+)
+
+func TestTasksDefinedForAllDatasets(t *testing.T) {
+	for _, name := range []string{"NLTCS", "ACS", "Adult", "BR2000"} {
+		tasks, err := Tasks(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(tasks) != 4 {
+			t.Errorf("%s: %d tasks, want 4 (Section 6.1)", name, len(tasks))
+		}
+		spec, _ := data.ByName(name)
+		ds := spec.GenerateN(10)
+		for _, task := range tasks {
+			idx, err := task.TargetIndex(ds)
+			if err != nil {
+				t.Errorf("%s/%s: %v", name, task.Name, err)
+				continue
+			}
+			// Positive must be callable over the whole domain and split
+			// it non-trivially.
+			pos := 0
+			size := ds.Attr(idx).Size()
+			for c := 0; c < size; c++ {
+				if task.Positive(c) {
+					pos++
+				}
+			}
+			if pos == 0 || pos == size {
+				t.Errorf("%s/%s: positive class covers %d/%d codes", name, task.Name, pos, size)
+			}
+		}
+	}
+}
+
+func TestTasksUnknownDataset(t *testing.T) {
+	if _, err := Tasks("nope"); err == nil {
+		t.Error("unknown dataset should error")
+	}
+	if _, err := TaskByName("NLTCS", "nope"); err == nil {
+		t.Error("unknown task should error")
+	}
+}
+
+func TestTaskByName(t *testing.T) {
+	task, err := TaskByName("Adult", "salary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if task.Attr != "salary" || !task.Positive(1) || task.Positive(0) {
+		t.Error("salary task misconfigured")
+	}
+}
+
+func TestAvgVariationDistanceZeroForSelf(t *testing.T) {
+	spec, _ := data.ByName("NLTCS")
+	ds := spec.GenerateN(500)
+	if got := AvgVariationDistance(ds, &baseline.Dataset{DS: ds}, 2); got > 1e-12 {
+		t.Errorf("self AVD = %v", got)
+	}
+}
+
+func TestEvaluatorMatchesDirectComputation(t *testing.T) {
+	spec, _ := data.ByName("NLTCS")
+	ds := spec.GenerateN(800)
+	other := spec.GenerateN(400) // different distribution sample
+	e := NewEvaluator(ds, 2, 0, nil)
+	direct := AvgVariationDistance(ds, &baseline.Dataset{DS: other}, 2)
+	if got := e.AVD(&baseline.Dataset{DS: other}); got != direct {
+		t.Errorf("evaluator AVD %v != direct %v", got, direct)
+	}
+}
+
+func TestEvaluatorSampling(t *testing.T) {
+	spec, _ := data.ByName("NLTCS")
+	ds := spec.GenerateN(300)
+	e := NewEvaluator(ds, 3, 25, rand.New(rand.NewSource(1)))
+	if len(e.Subsets) != 25 {
+		t.Fatalf("sampled %d subsets, want 25", len(e.Subsets))
+	}
+	// Sampled estimate should be in the ballpark of the full mean.
+	full := NewEvaluator(ds, 3, 0, nil)
+	uni := &baseline.Uniform{DS: ds}
+	a, b := e.AVD(uni), full.AVD(uni)
+	if diff := a - b; diff > 0.1 || diff < -0.1 {
+		t.Errorf("sampled AVD %v far from full AVD %v", a, b)
+	}
+}
+
+func TestTargetIndexMissingAttr(t *testing.T) {
+	task := Task{Name: "x", Attr: "missing"}
+	ds := dataset.New([]dataset.Attribute{dataset.NewCategorical("a", []string{"0", "1"})})
+	if _, err := task.TargetIndex(ds); err == nil {
+		t.Error("missing attribute should error")
+	}
+}

@@ -1,0 +1,201 @@
+// Package privbayes is a production-quality Go implementation of
+// PrivBayes (Zhang, Cormode, Procopiuc, Srivastava, Xiao — SIGMOD 2014 /
+// TODS 2017): differentially private release of high-dimensional tabular
+// data via Bayesian networks.
+//
+// Given a sensitive dataset, PrivBayes (1) learns a low-degree Bayesian
+// network with the exponential mechanism using low-sensitivity surrogate
+// score functions, (2) perturbs the network's low-dimensional marginals
+// with the Laplace mechanism, and (3) samples a synthetic dataset from
+// the noisy model. The released data satisfies ε-differential privacy
+// end to end and supports arbitrary downstream workloads.
+//
+// Quick start:
+//
+//	attrs := []privbayes.Attribute{
+//		privbayes.NewCategorical("color", []string{"red", "green", "blue"}),
+//		privbayes.NewContinuous("age", 0, 100, 16),
+//	}
+//	ds := privbayes.NewDataset(attrs)
+//	// ... ds.Append(record) for each row ...
+//	syn, err := privbayes.Synthesize(ds, privbayes.Options{
+//		Epsilon: 1.0,
+//		Rand:    rand.New(rand.NewSource(1)),
+//	})
+//
+// The exported types alias the internal implementation packages, so the
+// whole pipeline — datasets, taxonomy hierarchies, fitted models — is
+// usable from this single import.
+package privbayes
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+
+	"privbayes/internal/core"
+	"privbayes/internal/dataset"
+	"privbayes/internal/score"
+)
+
+// Dataset is a column-oriented table of encoded records.
+type Dataset = dataset.Dataset
+
+// Attribute describes one column: a categorical label set or a
+// discretized continuous range, optionally with a taxonomy tree.
+type Attribute = dataset.Attribute
+
+// Hierarchy is a taxonomy tree over an attribute's values, enabling the
+// hierarchical encoding of Section 5.1.
+type Hierarchy = dataset.Hierarchy
+
+// Kind classifies an attribute's original domain.
+type Kind = dataset.Kind
+
+// Attribute kinds.
+const (
+	Categorical = dataset.Categorical
+	Continuous  = dataset.Continuous
+)
+
+// Model is a fitted PrivBayes model: the private Bayesian network plus
+// its noisy conditional distributions. Sampling from a Model incurs no
+// further privacy cost.
+type Model = core.Model
+
+// ScoreFunction selects the exponential-mechanism score.
+type ScoreFunction = score.Function
+
+// Score function choices. The paper recommends F for all-binary data
+// and R otherwise; mutual information I is included as the baseline.
+const (
+	ScoreMI = score.MI
+	ScoreF  = score.F
+	ScoreR  = score.R
+)
+
+// NewDataset creates an empty dataset with the given schema.
+func NewDataset(attrs []Attribute) *Dataset { return dataset.New(attrs) }
+
+// NewCategorical constructs a categorical attribute.
+func NewCategorical(name string, labels []string) Attribute {
+	return dataset.NewCategorical(name, labels)
+}
+
+// NewContinuous constructs a continuous attribute discretized into
+// equi-width bins.
+func NewContinuous(name string, min, max float64, bins int) Attribute {
+	return dataset.NewContinuous(name, min, max, bins)
+}
+
+// NewHierarchy builds a taxonomy tree from per-level generalization
+// maps; see dataset.NewHierarchy.
+func NewHierarchy(rawSize int, maps ...[]int) *Hierarchy {
+	return dataset.NewHierarchy(rawSize, maps...)
+}
+
+// Options configures Fit and Synthesize. Only Epsilon and Rand are
+// required; everything else defaults to the paper's recommendations
+// (β = 0.3, θ = 4, score R with hierarchical generalization, or score F
+// with the binary pipeline when every attribute is binary).
+type Options struct {
+	// Epsilon is the total differential-privacy budget.
+	Epsilon float64
+	// Beta splits the budget between network learning (βε) and
+	// distribution learning ((1−β)ε). Default 0.3.
+	Beta float64
+	// Theta is the θ-usefulness threshold steering model capacity.
+	// Default 4.
+	Theta float64
+	// Score overrides the automatic score-function choice.
+	Score ScoreFunction
+	// scoreSet tracks whether Score was set explicitly.
+	ScoreSet bool
+	// Degree forces the network degree k on all-binary data; negative
+	// or zero selects k by θ-usefulness.
+	Degree int
+	// DisableHierarchy turns off taxonomy-tree generalization even when
+	// attributes define hierarchies (the paper's "vanilla" encoding).
+	DisableHierarchy bool
+	// Consistency enables the mutual-consistency post-processing of the
+	// noisy marginals (footnote 1 of the paper); costs no privacy.
+	Consistency bool
+	// Rand is the randomness source; required.
+	Rand *rand.Rand
+}
+
+func (o Options) toCore(ds *Dataset) (core.Options, error) {
+	if o.Rand == nil {
+		return core.Options{}, errors.New("privbayes: Options.Rand is required")
+	}
+	opt := core.Options{
+		Epsilon:     o.Epsilon,
+		Beta:        o.Beta,
+		Theta:       o.Theta,
+		K:           -1,
+		Consistency: o.Consistency,
+		Rand:        o.Rand,
+	}
+	if opt.Beta == 0 {
+		opt.Beta = 0.3
+	}
+	if opt.Theta == 0 {
+		opt.Theta = 4
+	}
+	binary := true
+	for i := 0; i < ds.D(); i++ {
+		if ds.Attr(i).Size() != 2 {
+			binary = false
+			break
+		}
+	}
+	if binary {
+		opt.Mode = core.ModeBinary
+		opt.Score = score.F
+		if o.Degree > 0 {
+			opt.K = o.Degree
+		}
+	} else {
+		opt.Mode = core.ModeGeneral
+		opt.Score = score.R
+		opt.UseHierarchy = !o.DisableHierarchy
+	}
+	if o.ScoreSet {
+		opt.Score = o.Score
+	}
+	return opt, nil
+}
+
+// Fit learns a PrivBayes model from the dataset under ε-differential
+// privacy.
+func Fit(ds *Dataset, o Options) (*Model, error) {
+	opt, err := o.toCore(ds)
+	if err != nil {
+		return nil, err
+	}
+	return core.Fit(ds, opt)
+}
+
+// Synthesize fits a model and samples a synthetic dataset with the same
+// number of rows as the input. The combined release satisfies
+// ε-differential privacy (Theorem 3.2 of the paper).
+func Synthesize(ds *Dataset, o Options) (*Dataset, error) {
+	m, err := Fit(ds, o)
+	if err != nil {
+		return nil, err
+	}
+	return m.Sample(ds.N(), o.Rand), nil
+}
+
+// SaveModel persists a fitted model as JSON. Only the noisy model is
+// written — never the sensitive data — so the stored artifact carries
+// exactly the ε-DP release. epsilon is recorded as metadata.
+func SaveModel(w io.Writer, m *Model, epsilon float64) error {
+	return m.WriteJSON(w, epsilon)
+}
+
+// LoadModel reads a model persisted by SaveModel, revalidating its
+// structure, and returns it with the recorded ε.
+func LoadModel(r io.Reader) (*Model, float64, error) {
+	return core.ReadModelJSON(r)
+}

@@ -1,0 +1,169 @@
+package privbayes
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func toyData(n int, seed int64) *Dataset {
+	attrs := []Attribute{
+		NewCategorical("a", []string{"0", "1"}),
+		NewCategorical("b", []string{"0", "1"}),
+		NewContinuous("c", 0, 8, 4),
+	}
+	ds := NewDataset(attrs)
+	rng := rand.New(rand.NewSource(seed))
+	rec := make([]uint16, 3)
+	for i := 0; i < n; i++ {
+		a := rng.Intn(2)
+		b := a
+		if rng.Float64() < 0.15 {
+			b = 1 - a
+		}
+		rec[0], rec[1], rec[2] = uint16(a), uint16(b), uint16(rng.Intn(4))
+		ds.Append(rec)
+	}
+	return ds
+}
+
+func TestSynthesizeRoundTrip(t *testing.T) {
+	ds := toyData(5000, 1)
+	rng := rand.New(rand.NewSource(2))
+	syn, err := Synthesize(ds, Options{Epsilon: 1, Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if syn.N() != ds.N() || syn.D() != ds.D() {
+		t.Fatalf("synthetic shape %dx%d", syn.N(), syn.D())
+	}
+}
+
+func TestSynthesizePreservesStrongCorrelation(t *testing.T) {
+	ds := toyData(20000, 3)
+	rng := rand.New(rand.NewSource(4))
+	syn, err := Synthesize(ds, Options{Epsilon: 2, Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agree := func(d *Dataset) float64 {
+		c := 0
+		for r := 0; r < d.N(); r++ {
+			if d.Value(r, 0) == d.Value(r, 1) {
+				c++
+			}
+		}
+		return float64(c) / float64(d.N())
+	}
+	real, got := agree(ds), agree(syn)
+	if math.Abs(real-got) > 0.05 {
+		t.Errorf("P(a=b): real %v, synthetic %v", real, got)
+	}
+}
+
+func TestFitRequiresRand(t *testing.T) {
+	ds := toyData(100, 5)
+	if _, err := Fit(ds, Options{Epsilon: 1}); err == nil {
+		t.Fatal("missing Rand must error")
+	}
+}
+
+func TestFitRejectsBadEpsilon(t *testing.T) {
+	ds := toyData(100, 6)
+	if _, err := Fit(ds, Options{Epsilon: 0, Rand: rand.New(rand.NewSource(1))}); err == nil {
+		t.Fatal("zero epsilon must error")
+	}
+}
+
+func TestExplicitScoreOverride(t *testing.T) {
+	ds := toyData(500, 7)
+	rng := rand.New(rand.NewSource(8))
+	m, err := Fit(ds, Options{Epsilon: 1, Score: ScoreMI, ScoreSet: true, Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Score != ScoreMI {
+		t.Errorf("score = %v, want MI", m.Score)
+	}
+}
+
+func TestBinaryDataUsesFAutomatically(t *testing.T) {
+	attrs := []Attribute{
+		NewCategorical("a", []string{"0", "1"}),
+		NewCategorical("b", []string{"0", "1"}),
+	}
+	ds := NewDataset(attrs)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 500; i++ {
+		ds.Append([]uint16{uint16(rng.Intn(2)), uint16(rng.Intn(2))})
+	}
+	m, err := Fit(ds, Options{Epsilon: 1, Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Score != ScoreF {
+		t.Errorf("all-binary data should default to score F, got %v", m.Score)
+	}
+}
+
+func TestGeneralDataUsesRAutomatically(t *testing.T) {
+	ds := toyData(500, 10)
+	rng := rand.New(rand.NewSource(11))
+	m, err := Fit(ds, Options{Epsilon: 1, Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Score != ScoreR {
+		t.Errorf("general data should default to score R, got %v", m.Score)
+	}
+}
+
+func TestModelSampleArbitrarySize(t *testing.T) {
+	ds := toyData(2000, 12)
+	rng := rand.New(rand.NewSource(13))
+	m, err := Fit(ds, Options{Epsilon: 1, Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn := m.Sample(123, rng)
+	if syn.N() != 123 {
+		t.Errorf("sample size %d, want 123", syn.N())
+	}
+}
+
+func TestSaveLoadModel(t *testing.T) {
+	ds := toyData(2000, 20)
+	rng := rand.New(rand.NewSource(21))
+	m, err := Fit(ds, Options{Epsilon: 1, Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveModel(&buf, m, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	back, eps, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eps != 1.0 {
+		t.Errorf("epsilon metadata = %v", eps)
+	}
+	syn := back.Sample(100, rng)
+	if syn.N() != 100 || syn.D() != ds.D() {
+		t.Errorf("reloaded model sample shape %dx%d", syn.N(), syn.D())
+	}
+}
+
+func TestConsistencyOptionRuns(t *testing.T) {
+	ds := toyData(3000, 22)
+	rng := rand.New(rand.NewSource(23))
+	syn, err := Synthesize(ds, Options{Epsilon: 0.2, Consistency: true, Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if syn.N() != ds.N() {
+		t.Error("consistency run lost rows")
+	}
+}
