@@ -1,0 +1,36 @@
+# Single source of truth for build/test commands: CI (.github/workflows/
+# ci.yml) and humans run the same targets.
+
+GO ?= go
+
+.PHONY: all build test race bench lint cover fmt
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass over every package; the parallel engine's
+# correctness tests are written to be meaningful under -race.
+race:
+	$(GO) test -race ./...
+
+# One-iteration benchmark smoke pass: catches benchmarks that no longer
+# compile or crash, without paying for stable timings.
+bench:
+	$(GO) test -run NONE -bench . -benchtime 1x ./...
+
+lint:
+	$(GO) vet ./...
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -1
+
+fmt:
+	gofmt -w .

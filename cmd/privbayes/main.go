@@ -36,19 +36,20 @@ func main() {
 		bins    = flag.Int("bins", 16, "bins for continuous attributes")
 		rows    = flag.Int("rows", 0, "synthetic rows to emit (0 = same as input)")
 		seed    = flag.Int64("seed", 1, "random seed")
+		par     = flag.Int("parallelism", 0, "worker pool size (0 = all cores, 1 = serial)")
 	)
 	flag.Parse()
 	if *in == "" || *out == "" {
 		fmt.Fprintln(os.Stderr, "privbayes: -in and -out are required")
 		os.Exit(2)
 	}
-	if err := run(*in, *out, *epsilon, *beta, *theta, *bins, *rows, *seed); err != nil {
+	if err := run(*in, *out, *epsilon, *beta, *theta, *bins, *rows, *par, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "privbayes:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, out string, epsilon, beta, theta float64, bins, rows int, seed int64) error {
+func run(in, out string, epsilon, beta, theta float64, bins, rows, par int, seed int64) error {
 	f, err := os.Open(in)
 	if err != nil {
 		return err
@@ -83,7 +84,7 @@ func run(in, out string, epsilon, beta, theta float64, bins, rows int, seed int6
 
 	rng := rand.New(rand.NewSource(seed))
 	model, err := privbayes.Fit(ds, privbayes.Options{
-		Epsilon: epsilon, Beta: beta, Theta: theta, Rand: rng,
+		Epsilon: epsilon, Beta: beta, Theta: theta, Parallelism: par, Rand: rng,
 	})
 	if err != nil {
 		return err
@@ -91,7 +92,7 @@ func run(in, out string, epsilon, beta, theta float64, bins, rows int, seed int6
 	if rows <= 0 {
 		rows = ds.N()
 	}
-	syn := model.Sample(rows, rng)
+	syn := model.SampleP(rows, rng, par)
 
 	of, err := os.Create(out)
 	if err != nil {

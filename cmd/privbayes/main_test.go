@@ -34,7 +34,7 @@ func TestRunEndToEnd(t *testing.T) {
 	dir := t.TempDir()
 	in := writeInput(t, dir)
 	out := filepath.Join(dir, "out.csv")
-	if err := run(in, out, 1.0, 0.3, 4, 16, 0, 7); err != nil {
+	if err := run(in, out, 1.0, 0.3, 4, 16, 0, 0, 7); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -63,7 +63,7 @@ func TestRunCustomRowCount(t *testing.T) {
 	dir := t.TempDir()
 	in := writeInput(t, dir)
 	out := filepath.Join(dir, "out.csv")
-	if err := run(in, out, 1.0, 0.3, 4, 16, 55, 7); err != nil {
+	if err := run(in, out, 1.0, 0.3, 4, 16, 55, 0, 7); err != nil {
 		t.Fatal(err)
 	}
 	data, _ := os.ReadFile(out)
@@ -74,7 +74,7 @@ func TestRunCustomRowCount(t *testing.T) {
 }
 
 func TestRunMissingInput(t *testing.T) {
-	if err := run("/does/not/exist.csv", "/tmp/x.csv", 1, 0.3, 4, 16, 0, 1); err == nil {
+	if err := run("/does/not/exist.csv", "/tmp/x.csv", 1, 0.3, 4, 16, 0, 0, 1); err == nil {
 		t.Fatal("missing input must error")
 	}
 }

@@ -57,7 +57,7 @@ func main() {
 	}
 
 	const eps = 0.02
-	eval := workload.NewEvaluator(ds, 2, 0, nil)
+	eval := workload.NewEvaluator(ds, 2, 0, 0, nil)
 	for _, disable := range []bool{false, true} {
 		name := "hierarchical"
 		if disable {

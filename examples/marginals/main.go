@@ -19,7 +19,7 @@ func main() {
 	ds := spec.GenerateN(10_000)
 	fmt.Printf("dataset: %s-shaped, %d rows, %d binary attributes\n\n", spec.Name, ds.N(), ds.D())
 
-	eval := workload.NewEvaluator(ds, 3, 0, nil) // all C(16,3) = 560 subsets
+	eval := workload.NewEvaluator(ds, 3, 0, 0, nil) // all C(16,3) = 560 subsets
 	fmt.Println("epsilon   PrivBayes-AVD   Laplace-AVD   Uniform-AVD")
 	uniform := eval.AVD(&baseline.Uniform{DS: ds})
 	for _, eps := range []float64{0.1, 0.4, 1.6} {

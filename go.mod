@@ -1,0 +1,3 @@
+module privbayes
+
+go 1.24.0

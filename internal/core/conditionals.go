@@ -6,6 +6,7 @@ import (
 
 	"privbayes/internal/dataset"
 	"privbayes/internal/marginal"
+	"privbayes/internal/parallel"
 )
 
 // NoisyConditionalsBinary implements Algorithm 1: for pairs i ∈ [k+1, d]
@@ -20,7 +21,16 @@ import (
 // BestMarginal reference of Figure 11. consistent additionally applies
 // the mutual-consistency post-processing of EnforceConsistency to the
 // noised joints before deriving conditionals (footnote 1 of the paper).
-func NoisyConditionalsBinary(ds *dataset.Dataset, net Network, k int, eps2 float64, noNoise, consistent bool, rng *rand.Rand) ([]*marginal.Conditional, error) {
+//
+// The d−k joint materializations — each a full pass over the n rows —
+// fan out across up to `parallelism` workers, both across tables and
+// across row chunks within each table (marginal.MaterializeP); Laplace
+// noise is then injected serially in pair order from rng. The result
+// is bit-identical at every parallelism other than 1 for a fixed seed
+// (exact-count merging makes the joints worker-count independent);
+// parallelism 1 reproduces the pre-engine serial accumulation byte for
+// byte.
+func NoisyConditionalsBinary(ds *dataset.Dataset, net Network, k int, eps2 float64, noNoise, consistent bool, parallelism int, rng *rand.Rand) ([]*marginal.Conditional, error) {
 	d := len(net.Pairs)
 	conds := make([]*marginal.Conditional, d)
 	if d == 0 {
@@ -32,15 +42,14 @@ func NoisyConditionalsBinary(ds *dataset.Dataset, net Network, k int, eps2 float
 	n := float64(ds.N())
 	scale := 2 * float64(d-k) / (n * eps2)
 
-	joints := make([]*marginal.Table, 0, d-k)
-	for i := k; i < d; i++ {
-		pair := net.Pairs[i]
-		joint := marginal.Materialize(ds, pair.Vars())
+	joints := parallel.Map(parallel.Workers(parallelism), d-k, func(j int) *marginal.Table {
+		return marginal.MaterializeP(ds, net.Pairs[k+j].Vars(), parallelism)
+	})
+	for _, joint := range joints {
 		if !noNoise {
 			joint.AddLaplace(rng, scale)
 		}
 		joint.ClampNormalize()
-		joints = append(joints, joint)
 	}
 	if consistent && !noNoise {
 		EnforceConsistency(joints, 0)
@@ -83,20 +92,24 @@ func projectOnto(anchor *marginal.Table, pair APPair) (*marginal.Table, error) {
 
 // NoisyConditionalsGeneral implements Algorithm 3: every one of the d
 // AP-pair joints is materialized and perturbed with Laplace(2d/(n·ε₂))
-// noise, then clamped, normalized and conditioned.
-func NoisyConditionalsGeneral(ds *dataset.Dataset, net Network, eps2 float64, noNoise, consistent bool, rng *rand.Rand) []*marginal.Conditional {
+// noise, then clamped, normalized and conditioned. Materialization fans
+// out across up to `parallelism` workers, across tables and across row
+// chunks within each table; the noise draws stay serial in pair order,
+// keeping the output bit-identical at every parallelism other than 1
+// (see NoisyConditionalsBinary for the contract).
+func NoisyConditionalsGeneral(ds *dataset.Dataset, net Network, eps2 float64, noNoise, consistent bool, parallelism int, rng *rand.Rand) []*marginal.Conditional {
 	d := len(net.Pairs)
 	conds := make([]*marginal.Conditional, d)
 	n := float64(ds.N())
 	scale := 2 * float64(d) / (n * eps2)
-	joints := make([]*marginal.Table, d)
-	for i, pair := range net.Pairs {
-		joint := marginal.Materialize(ds, pair.Vars())
+	joints := parallel.Map(parallel.Workers(parallelism), d, func(i int) *marginal.Table {
+		return marginal.MaterializeP(ds, net.Pairs[i].Vars(), parallelism)
+	})
+	for _, joint := range joints {
 		if !noNoise {
 			joint.AddLaplace(rng, scale)
 		}
 		joint.ClampNormalize()
-		joints[i] = joint
 	}
 	if consistent && !noNoise {
 		EnforceConsistency(joints, 0)
@@ -105,36 +118,4 @@ func NoisyConditionalsGeneral(ds *dataset.Dataset, net Network, eps2 float64, no
 		conds[i] = marginal.ConditionalFromJoint(joint)
 	}
 	return conds
-}
-
-// Sample draws n synthetic tuples by ancestral sampling (Section 3,
-// "Generation of synthetic data"): attributes are sampled in network
-// order, so every parent is available — suitably generalized — before
-// its children.
-func (m *Model) Sample(n int, rng *rand.Rand) *dataset.Dataset {
-	out := dataset.NewWithCapacity(m.Attrs, n)
-	d := len(m.Attrs)
-	rec := make([]uint16, d)
-	raw := make([]int, d) // raw sampled code per attribute
-	var parentCodes []int
-	for r := 0; r < n; r++ {
-		for i, pair := range m.Network.Pairs {
-			cond := m.Conds[i]
-			parentCodes = parentCodes[:0]
-			for _, p := range pair.Parents {
-				code := raw[p.Attr]
-				if p.Level > 0 {
-					code = m.Attrs[p.Attr].Generalize(p.Level, code)
-				}
-				parentCodes = append(parentCodes, code)
-			}
-			x := cond.SampleX(parentCodes, rng)
-			raw[pair.X.Attr] = x
-		}
-		for a := 0; a < d; a++ {
-			rec[a] = uint16(raw[a])
-		}
-		out.Append(rec)
-	}
-	return out
 }

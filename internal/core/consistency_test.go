@@ -14,7 +14,7 @@ func noisyJoints(t *testing.T, seed int64) ([]*marginal.Table, Network) {
 	ds := chainData(4000, seed)
 	sc := score.NewScorer(score.F, ds)
 	rng := rand.New(rand.NewSource(seed + 1))
-	net := GreedyBayesBinary(ds, 2, math.Inf(1), sc, rng)
+	net := GreedyBayesBinary(ds, 2, math.Inf(1), sc, 1, rng)
 	var joints []*marginal.Table
 	for _, pair := range net.Pairs {
 		j := marginal.Materialize(ds, pair.Vars())

@@ -95,7 +95,7 @@ func TestGreedyBayesBinaryStructure(t *testing.T) {
 	sc := score.NewScorer(score.F, ds)
 	rng := rand.New(rand.NewSource(2))
 	for _, k := range []int{1, 2, 3} {
-		net := GreedyBayesBinary(ds, k, math.Inf(1), sc, rng)
+		net := GreedyBayesBinary(ds, k, math.Inf(1), sc, 1, rng)
 		if err := net.Validate(ds.D()); err != nil {
 			t.Fatalf("k=%d: invalid network: %v", k, err)
 		}
@@ -120,7 +120,7 @@ func TestGreedyBayesBinaryStructure(t *testing.T) {
 func TestGreedyBayesBinaryFindsChain(t *testing.T) {
 	ds := chainData(8000, 3)
 	sc := score.NewScorer(score.MI, ds)
-	net := GreedyBayesBinary(ds, 1, math.Inf(1), sc, rand.New(rand.NewSource(4)))
+	net := GreedyBayesBinary(ds, 1, math.Inf(1), sc, 1, rand.New(rand.NewSource(4)))
 	// The non-private greedy Chow-Liu tree must recover the strong
 	// chain edges: each of a1..a3 should have its chain neighbor as the
 	// parent (whichever side was added first).
@@ -134,7 +134,7 @@ func TestGreedyBayesGeneralRespectsCap(t *testing.T) {
 	ds := mixedData(5000, 5)
 	sc := score.NewScorer(score.R, ds)
 	eps2 := 0.07
-	net := GreedyBayesGeneral(ds, 4, math.Inf(1), eps2, true, sc, rand.New(rand.NewSource(6)))
+	net := GreedyBayesGeneral(ds, 4, math.Inf(1), eps2, true, sc, 1, rand.New(rand.NewSource(6)))
 	if err := net.Validate(ds.D()); err != nil {
 		t.Fatal(err)
 	}
@@ -190,10 +190,10 @@ func TestNoisyConditionalsBinaryDerivation(t *testing.T) {
 	sc := score.NewScorer(score.F, ds)
 	rng := rand.New(rand.NewSource(8))
 	k := 2
-	net := GreedyBayesBinary(ds, k, math.Inf(1), sc, rng)
+	net := GreedyBayesBinary(ds, k, math.Inf(1), sc, 1, rng)
 	// Without noise, derived head conditionals must equal direct
 	// materialization.
-	conds, err := NoisyConditionalsBinary(ds, net, k, 1.0, true, false, rng)
+	conds, err := NoisyConditionalsBinary(ds, net, k, 1.0, true, false, 1, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,8 +216,8 @@ func TestNoisyConditionalsGeneralShapes(t *testing.T) {
 	ds := mixedData(3000, 9)
 	sc := score.NewScorer(score.R, ds)
 	rng := rand.New(rand.NewSource(10))
-	net := GreedyBayesGeneral(ds, 4, math.Inf(1), 0.5, true, sc, rng)
-	conds := NoisyConditionalsGeneral(ds, net, 0.5, false, false, rng)
+	net := GreedyBayesGeneral(ds, 4, math.Inf(1), 0.5, true, sc, 1, rng)
+	conds := NoisyConditionalsGeneral(ds, net, 0.5, false, false, 1, rng)
 	for i, c := range conds {
 		if c.X != net.Pairs[i].X {
 			t.Fatalf("conditional %d child mismatch", i)

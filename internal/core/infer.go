@@ -2,9 +2,85 @@ package core
 
 import (
 	"fmt"
+	"math/rand"
 
+	"privbayes/internal/dataset"
 	"privbayes/internal/marginal"
+	"privbayes/internal/parallel"
 )
+
+// Sample draws n synthetic tuples by ancestral sampling (Section 3,
+// "Generation of synthetic data"): attributes are sampled in network
+// order, so every parent is available — suitably generalized — before
+// its children. The serial path; SampleP fans the same loop out over
+// row chunks.
+func (m *Model) Sample(n int, rng *rand.Rand) *dataset.Dataset {
+	out := dataset.NewWithLen(m.Attrs, n)
+	m.sampleRange(out, 0, n, rng)
+	return out
+}
+
+// sampleChunk is the row granularity of parallel sampling. The chunk
+// geometry depends only on n, so the chunk index — and with it the
+// chunk's RNG stream — is independent of the worker count.
+const sampleChunk = 2048
+
+// SampleP draws n synthetic tuples with chunked row-range fan-out
+// across up to `parallelism` workers (<= 0 selects GOMAXPROCS; see
+// parallel.Workers). Each fixed-size row chunk samples from its own
+// rand.Rand seeded by sequential draws from rng (the split-RNG scheme).
+// Chunk geometry and seeds depend only on (n, seed) — never on the
+// worker count — so for a fixed seed the output is bit-identical at
+// every parallelism other than 1, on any machine: the default 0 gives
+// the same tuples on one core as on sixty-four. Parallelism 1 — and
+// only 1 — takes the serial Sample path, which consumes rng directly
+// and reproduces the pre-parallel engine byte for byte; its tuple
+// stream therefore differs from (but is distributed identically to)
+// the chunked one.
+func (m *Model) SampleP(n int, rng *rand.Rand, parallelism int) *dataset.Dataset {
+	if parallelism == 1 {
+		return m.Sample(n, rng)
+	}
+	workers := parallel.Workers(parallelism)
+	chunks := parallel.Chunks(n, sampleChunk)
+	seeds := parallel.SplitSeeds(rng, chunks)
+	out := dataset.NewWithLen(m.Attrs, n)
+	parallel.For(workers, chunks, func(c int) {
+		lo := c * sampleChunk
+		hi := min(lo+sampleChunk, n)
+		m.sampleRange(out, lo, hi, rand.New(rand.NewSource(seeds[c])))
+	})
+	return out
+}
+
+// sampleRange fills rows [lo, hi) of out by ancestral sampling from rng.
+// Distinct ranges touch disjoint row slots, so concurrent calls on one
+// dataset are race-free.
+func (m *Model) sampleRange(out *dataset.Dataset, lo, hi int, rng *rand.Rand) {
+	d := len(m.Attrs)
+	rec := make([]uint16, d)
+	raw := make([]int, d) // raw sampled code per attribute
+	var parentCodes []int
+	for r := lo; r < hi; r++ {
+		for i, pair := range m.Network.Pairs {
+			cond := m.Conds[i]
+			parentCodes = parentCodes[:0]
+			for _, p := range pair.Parents {
+				code := raw[p.Attr]
+				if p.Level > 0 {
+					code = m.Attrs[p.Attr].Generalize(p.Level, code)
+				}
+				parentCodes = append(parentCodes, code)
+			}
+			x := cond.SampleX(parentCodes, rng)
+			raw[pair.X.Attr] = x
+		}
+		for a := 0; a < d; a++ {
+			rec[a] = uint16(raw[a])
+		}
+		out.SetRecord(r, rec)
+	}
+}
 
 // InferMarginal answers a marginal query directly from the fitted model
 // instead of via random sampling — the direction Section 7 of the paper

@@ -69,6 +69,16 @@ type Options struct {
 	// conditionals are derived. Free of privacy cost; off by default to
 	// match the paper's presented algorithm.
 	Consistency bool
+	// Parallelism bounds the worker pool used by candidate scoring,
+	// marginal counting and synthetic sampling. <= 0 (the default)
+	// selects GOMAXPROCS; 1 forces the serial code paths, reproducing
+	// the pre-parallel engine byte for byte. For a fixed seed, Fit and
+	// Synthesize output is bit-identical at every parallelism other
+	// than 1, on any machine — work units and RNG streams are indexed
+	// by data position, never by worker (see Model.SampleP and
+	// marginal.MaterializeP). The learned network structure is
+	// additionally identical between the serial and parallel paths.
+	Parallelism int
 	// Rand is the randomness source; required.
 	Rand *rand.Rand
 }
@@ -158,15 +168,15 @@ func Fit(ds *dataset.Dataset, opt Options) (*Model, error) {
 		// choice trivial only when d = 1), the paper resets β when no
 		// choice exists; we keep the split, which matches footnote 6's
 		// observation without changing behaviour materially.
-		m.Network = GreedyBayesBinary(ds, k, eps1, sc, opt.Rand)
-		conds, err := NoisyConditionalsBinary(ds, m.Network, k, eps2, opt.InfiniteMarginalBudget, opt.Consistency, opt.Rand)
+		m.Network = GreedyBayesBinary(ds, k, eps1, sc, opt.Parallelism, opt.Rand)
+		conds, err := NoisyConditionalsBinary(ds, m.Network, k, eps2, opt.InfiniteMarginalBudget, opt.Consistency, opt.Parallelism, opt.Rand)
 		if err != nil {
 			return nil, err
 		}
 		m.Conds = conds
 	case ModeGeneral:
-		m.Network = GreedyBayesGeneral(ds, opt.Theta, eps1, eps2, opt.UseHierarchy, sc, opt.Rand)
-		m.Conds = NoisyConditionalsGeneral(ds, m.Network, eps2, opt.InfiniteMarginalBudget, opt.Consistency, opt.Rand)
+		m.Network = GreedyBayesGeneral(ds, opt.Theta, eps1, eps2, opt.UseHierarchy, sc, opt.Parallelism, opt.Rand)
+		m.Conds = NoisyConditionalsGeneral(ds, m.Network, eps2, opt.InfiniteMarginalBudget, opt.Consistency, opt.Parallelism, opt.Rand)
 	default:
 		return nil, fmt.Errorf("core: unknown mode %d", opt.Mode)
 	}
@@ -177,11 +187,12 @@ func Fit(ds *dataset.Dataset, opt Options) (*Model, error) {
 }
 
 // Synthesize runs the full three-phase pipeline and returns a synthetic
-// dataset of the same cardinality as the input (Section 3).
+// dataset of the same cardinality as the input (Section 3). Sampling
+// honours opt.Parallelism (see Model.SampleP).
 func Synthesize(ds *dataset.Dataset, opt Options) (*dataset.Dataset, error) {
 	m, err := Fit(ds, opt)
 	if err != nil {
 		return nil, err
 	}
-	return m.Sample(ds.N(), opt.Rand), nil
+	return m.SampleP(ds.N(), opt.Rand, opt.Parallelism), nil
 }

@@ -38,6 +38,32 @@ func NewWithCapacity(attrs []Attribute, n int) *Dataset {
 	return d
 }
 
+// NewWithLen creates a dataset with n zero-filled rows, for callers
+// that fill rows by index — e.g. the parallel sampler, whose workers
+// write disjoint row ranges of one shared dataset.
+func NewWithLen(attrs []Attribute, n int) *Dataset {
+	d := New(attrs)
+	for i := range d.cols {
+		d.cols[i] = make([]uint16, n)
+	}
+	d.n = n
+	return d
+}
+
+// SetRecord overwrites row i with one code per attribute. Concurrent
+// calls for distinct rows are race-free.
+func (d *Dataset) SetRecord(i int, rec []uint16) {
+	if len(rec) != len(d.attrs) {
+		panic(fmt.Sprintf("dataset: record has %d values, want %d", len(rec), len(d.attrs)))
+	}
+	for c, v := range rec {
+		if int(v) >= d.attrs[c].Size() {
+			panic(fmt.Sprintf("dataset: code %d out of range for attribute %s (size %d)", v, d.attrs[c].Name, d.attrs[c].Size()))
+		}
+		d.cols[c][i] = v
+	}
+}
+
 // N returns the number of rows.
 func (d *Dataset) N() int { return d.n }
 

@@ -46,7 +46,7 @@ func (c Config) evaluator(dsName string, alpha int) (*workload.Evaluator, error)
 	if e, ok := evalCache[key]; ok {
 		return e, nil
 	}
-	e := workload.NewEvaluator(ds, alpha, c.MaxQuerySubsets, c.rng("eval", dsName, alpha))
+	e := workload.NewEvaluator(ds, alpha, c.MaxQuerySubsets, c.Parallelism, c.rng("eval", dsName, alpha))
 	evalCache[key] = e
 	return e, nil
 }
@@ -69,7 +69,7 @@ func runPanelOnce(cfg Config, scorers *scorerCache, p batteryPanel, eps float64,
 		if err != nil {
 			return 0, err
 		}
-		syn := m.Sample(ds.N(), rng)
+		syn := m.SampleP(ds.N(), rng, cfg.Parallelism)
 		eval, err := cfg.evaluator(p.dsName, p.alpha)
 		if err != nil {
 			return 0, err
@@ -89,7 +89,7 @@ func runPanelOnce(cfg Config, scorers *scorerCache, p batteryPanel, eps float64,
 		if err != nil {
 			return 0, err
 		}
-		syn := m.Sample(train.N(), rng)
+		syn := m.SampleP(train.N(), rng, cfg.Parallelism)
 		return trainAndScore(syn, test, task, rng)
 	default:
 		return 0, fmt.Errorf("experiment: unknown panel kind %q", p.kind)

@@ -17,7 +17,7 @@ func runEncodingCounts(cfg Config, col *collector, dsName string, alphas []int) 
 	scorers := newScorerCache()
 	for _, alpha := range alphas {
 		panel := fmt.Sprintf("%c-Q%d", 'a'+alpha-alphas[0], alpha)
-		eval := workload.NewEvaluator(ds, alpha, cfg.MaxQuerySubsets, cfg.rng("eval", dsName, alpha))
+		eval := workload.NewEvaluator(ds, alpha, cfg.MaxQuerySubsets, cfg.Parallelism, cfg.rng("eval", dsName, alpha))
 		for _, eps := range cfg.eps() {
 			for _, s := range encodingSeries {
 				var sum float64

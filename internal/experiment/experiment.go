@@ -47,6 +47,10 @@ type Config struct {
 	// Heavy enables the full-domain baselines (Contingency, MWEM) on
 	// ACS, whose 2^23-cell histograms dominate runtime.
 	Heavy bool
+	// Parallelism bounds the worker pool of every PrivBayes run in the
+	// battery (see core.Options.Parallelism). <= 0 uses all cores; 1
+	// forces the serial code paths.
+	Parallelism int
 	// Seed is the base seed; repeat r of any experiment derives its
 	// generator from Seed and r, so runs are reproducible.
 	Seed int64
@@ -169,7 +173,8 @@ func isBinary(ds *dataset.Dataset) bool {
 // with β = 0.3 and θ = 4 (Section 6.4).
 func (c Config) defaultOptions(ds *dataset.Dataset, eps float64, rng *rand.Rand) core.Options {
 	opt := core.Options{
-		Epsilon: eps, Beta: 0.3, Theta: 4, K: -1, MaxK: c.MaxK, Rand: rng,
+		Epsilon: eps, Beta: 0.3, Theta: 4, K: -1, MaxK: c.MaxK,
+		Parallelism: c.Parallelism, Rand: rng,
 	}
 	if isBinary(ds) {
 		opt.Mode = core.ModeBinary

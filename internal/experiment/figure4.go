@@ -39,7 +39,7 @@ func runFigure4(cfg Config, col *collector) error {
 					rng := cfg.rng("fig4", p.ds, fn, eps, r)
 					opt := core.Options{
 						Epsilon: eps, Beta: 0.3, Theta: 4, K: -1, MaxK: cfg.MaxK,
-						Score: fn, Rand: rng,
+						Score: fn, Parallelism: cfg.Parallelism, Rand: rng,
 						Scorer: scorers.get(fn, p.ds, ds),
 					}
 					if binary {
@@ -62,7 +62,7 @@ func runFigure4(cfg Config, col *collector) error {
 				rng := cfg.rng("fig4", p.ds, "np", eps, r)
 				opt := core.Options{
 					Epsilon: eps, Beta: 0.3, Theta: 4, K: -1, MaxK: cfg.MaxK,
-					Score: score.MI, Rand: rng,
+					Score: score.MI, Parallelism: cfg.Parallelism, Rand: rng,
 					Scorer:                scorers.get(score.MI, p.ds, ds),
 					InfiniteNetworkBudget: true,
 				}

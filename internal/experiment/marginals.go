@@ -34,7 +34,7 @@ func runMarginalBaselines(cfg Config, col *collector, dsName string, alphas []in
 			if err != nil {
 				return nil, err
 			}
-			return &baseline.Dataset{DS: m.Sample(ds.N(), rng)}, nil
+			return &baseline.Dataset{DS: m.SampleP(ds.N(), rng, cfg.Parallelism)}, nil
 		}},
 		{"Laplace", func(alpha int, eps float64, rng *rand.Rand) (baseline.MarginalSource, error) {
 			return baseline.NewLaplace(ds, alpha, eps, rng), nil

@@ -44,7 +44,7 @@ func runSVMBaselines(cfg Config, col *collector, dsName string) error {
 			if err != nil {
 				return err
 			}
-			syn := m.Sample(train.N(), rng)
+			syn := m.SampleP(train.N(), rng, cfg.Parallelism)
 
 			for ti, task := range tasks {
 				target, err := task.TargetIndex(train)

@@ -50,18 +50,20 @@ func synthesizeEncoded(kind encoding.Kind, dsKey string, ds *dataset.Dataset, ep
 		encKey := fmt.Sprintf("%v|%s", kind, dsKey)
 		opt := core.Options{
 			Epsilon: eps, Beta: 0.3, Theta: 4, K: -1, MaxK: cfg.MaxK,
-			Mode: core.ModeBinary, Score: score.F, Rand: rng,
+			Mode: core.ModeBinary, Score: score.F,
+			Parallelism: cfg.Parallelism, Rand: rng,
 			Scorer: scorers.get(score.F, encKey, view.ds),
 		}
 		m, err := core.Fit(view.ds, opt)
 		if err != nil {
 			return nil, err
 		}
-		return view.codec.Decode(m.Sample(ds.N(), rng)), nil
+		return view.codec.Decode(m.SampleP(ds.N(), rng, cfg.Parallelism)), nil
 	case encoding.Vanilla, encoding.Hierarchical:
 		opt := core.Options{
 			Epsilon: eps, Beta: 0.3, Theta: 4, MaxK: cfg.MaxK,
-			Mode: core.ModeGeneral, Score: score.R, Rand: rng,
+			Mode: core.ModeGeneral, Score: score.R,
+			Parallelism: cfg.Parallelism, Rand: rng,
 			UseHierarchy: kind == encoding.Hierarchical,
 			Scorer:       scorers.get(score.R, dsKey, ds),
 		}
@@ -69,7 +71,7 @@ func synthesizeEncoded(kind encoding.Kind, dsKey string, ds *dataset.Dataset, ep
 		if err != nil {
 			return nil, err
 		}
-		return m.Sample(ds.N(), rng), nil
+		return m.SampleP(ds.N(), rng, cfg.Parallelism), nil
 	default:
 		return nil, fmt.Errorf("experiment: unknown encoding %v", kind)
 	}

@@ -10,6 +10,7 @@ import (
 	"math/rand"
 
 	"privbayes/internal/dataset"
+	"privbayes/internal/parallel"
 )
 
 // Var identifies an attribute at a generalization level. Level 0 is the
@@ -104,40 +105,110 @@ func MaterializeCounts(ds *dataset.Dataset, vars []Var) *Table {
 }
 
 func (t *Table) countInto(ds *dataset.Dataset, w float64) {
-	// Precompute per-variable stride and generalization lookup so the
-	// row loop is a handful of array reads per variable.
+	c := newCounter(t, ds)
+	c.countRange(0, ds.N(), w, t.P)
+}
+
+// counter precomputes per-variable stride, column, and generalization
+// lookups so the row loop is a handful of array reads per variable. One
+// counter can drive many row ranges, which is what the chunked parallel
+// materialization fans out over.
+type counter struct {
+	strides []int
+	cols    [][]uint16
+	gen     [][]int // nil when level == 0
+}
+
+func newCounter(t *Table, ds *dataset.Dataset) *counter {
 	k := len(t.Vars)
-	strides := make([]int, k)
+	c := &counter{strides: make([]int, k), cols: make([][]uint16, k), gen: make([][]int, k)}
 	s := 1
 	for i := k - 1; i >= 0; i-- {
-		strides[i] = s
+		c.strides[i] = s
 		s *= t.Dims[i]
 	}
-	cols := make([][]uint16, k)
-	gen := make([][]int, k) // nil when level == 0
 	for i, v := range t.Vars {
-		cols[i] = ds.Column(v.Attr)
+		c.cols[i] = ds.Column(v.Attr)
 		if v.Level > 0 {
 			a := ds.Attr(v.Attr)
 			m := make([]int, a.Size())
-			for c := range m {
-				m[c] = a.Generalize(v.Level, c)
+			for code := range m {
+				m[code] = a.Generalize(v.Level, code)
 			}
-			gen[i] = m
+			c.gen[i] = m
 		}
 	}
-	n := ds.N()
-	for r := 0; r < n; r++ {
+	return c
+}
+
+// countRange accumulates w per row of [lo, hi) into dst.
+func (c *counter) countRange(lo, hi int, w float64, dst []float64) {
+	k := len(c.strides)
+	for r := lo; r < hi; r++ {
 		idx := 0
 		for i := 0; i < k; i++ {
-			c := int(cols[i][r])
-			if gen[i] != nil {
-				c = gen[i][c]
+			code := int(c.cols[i][r])
+			if c.gen[i] != nil {
+				code = c.gen[i][code]
 			}
-			idx += c * strides[i]
+			idx += code * c.strides[i]
 		}
-		t.P[idx] += w
+		dst[idx] += w
 	}
+}
+
+// materializeChunk is the row-range fan-out granularity. Large enough
+// that per-chunk overhead vanishes, small enough to balance load across
+// workers on mid-sized datasets.
+const materializeChunk = 4096
+
+// MaterializeP is Materialize with chunked row-range fan-out across up
+// to `parallelism` workers (<= 0 selects GOMAXPROCS; see
+// parallel.Workers). Workers count rows into per-worker scratch tables
+// and the exact integer partials are merged and scaled by 1/n, so the
+// result is bit-identical at every parallelism other than 1, on any
+// machine — counting is exact, so neither the worker count nor
+// scheduling can shift a cell. parallelism 1 — and only 1 — takes the
+// serial Materialize path, whose repeated 1/n accumulation may differ
+// from the merged counts in the last ULP.
+func MaterializeP(ds *dataset.Dataset, vars []Var, parallelism int) *Table {
+	n := ds.N()
+	if parallelism == 1 || n == 0 {
+		return Materialize(ds, vars)
+	}
+	t := MaterializeCountsP(ds, vars, parallelism)
+	t.Scale(1 / float64(n))
+	return t
+}
+
+// MaterializeCountsP is MaterializeCounts with chunked row-range
+// fan-out. Counts are integer-valued, so per-worker accumulation merges
+// exactly: the result is bit-identical to the serial MaterializeCounts
+// at any parallelism.
+func MaterializeCountsP(ds *dataset.Dataset, vars []Var, parallelism int) *Table {
+	n := ds.N()
+	if parallelism == 1 || n == 0 {
+		return MaterializeCounts(ds, vars)
+	}
+	workers := parallel.Workers(parallelism)
+	t := NewTable(ds, vars)
+	c := newCounter(t, ds)
+	scratch := make([][]float64, workers)
+	parallel.ForChunks(workers, n, materializeChunk, func(worker, lo, hi int) {
+		if scratch[worker] == nil {
+			scratch[worker] = make([]float64, len(t.P))
+		}
+		c.countRange(lo, hi, 1, scratch[worker])
+	})
+	for _, part := range scratch {
+		if part == nil {
+			continue
+		}
+		for i, v := range part {
+			t.P[i] += v
+		}
+	}
+	return t
 }
 
 // Sum returns the total mass.

@@ -1,0 +1,81 @@
+package score
+
+import (
+	"sync"
+	"testing"
+
+	"privbayes/internal/marginal"
+)
+
+func batchPairs() []Pair {
+	return []Pair{
+		{X: marginal.Var{Attr: 0}},
+		{X: marginal.Var{Attr: 0}, Parents: []marginal.Var{{Attr: 1}}},
+		{X: marginal.Var{Attr: 0}, Parents: []marginal.Var{{Attr: 2}}},
+		{X: marginal.Var{Attr: 0}, Parents: []marginal.Var{{Attr: 1}, {Attr: 2}}},
+		{X: marginal.Var{Attr: 1}, Parents: []marginal.Var{{Attr: 2}}},
+		{X: marginal.Var{Attr: 2}, Parents: []marginal.Var{{Attr: 0}, {Attr: 1}}},
+	}
+}
+
+// TestScoreBatchMatchesSequential checks the parallel fan-out returns
+// exactly the values sequential Score calls produce, in input order, for
+// every score function.
+func TestScoreBatchMatchesSequential(t *testing.T) {
+	ds := binaryData(4000, 11)
+	pairs := batchPairs()
+	for _, fn := range []Function{MI, F, R} {
+		want := make([]float64, len(pairs))
+		serial := NewScorer(fn, ds)
+		for i, p := range pairs {
+			want[i] = serial.Score(p.X, p.Parents)
+		}
+		for _, par := range []int{1, 2, 8} {
+			got := NewScorer(fn, ds).ScoreBatch(par, pairs)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%v parallelism %d: pair %d = %v, want %v", fn, par, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestScorerSharedAcrossGoroutines stresses the cache under concurrent
+// batch evaluation from many goroutines (run with -race).
+func TestScorerSharedAcrossGoroutines(t *testing.T) {
+	ds := binaryData(2000, 12)
+	sc := NewScorer(R, ds)
+	pairs := batchPairs()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc.ScoreBatch(4, pairs)
+		}()
+	}
+	wg.Wait()
+	if sc.CacheSize() != len(pairs) {
+		t.Errorf("cache holds %d entries, want %d", sc.CacheSize(), len(pairs))
+	}
+	want := NewScorer(R, ds).ScoreBatch(1, pairs)
+	got := sc.ScoreBatch(1, pairs)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("pair %d cached %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestScoreBatchWarmsCache checks a batch call fills the cache so later
+// Score calls are hits — the precompute workflow for shared scorers.
+func TestScoreBatchWarmsCache(t *testing.T) {
+	ds := binaryData(1000, 13)
+	sc := NewScorer(MI, ds)
+	pairs := batchPairs()
+	sc.ScoreBatch(4, pairs)
+	if sc.CacheSize() != len(pairs) {
+		t.Fatalf("cache holds %d entries after batch, want %d", sc.CacheSize(), len(pairs))
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"privbayes/internal/dataset"
 	"privbayes/internal/infotheory"
 	"privbayes/internal/marginal"
+	"privbayes/internal/parallel"
 )
 
 // Function selects which score the exponential mechanism optimizes.
@@ -131,6 +132,34 @@ func (s *Scorer) Score(x marginal.Var, parents []marginal.Var) float64 {
 	s.cache[key] = v
 	s.mu.Unlock()
 	return v
+}
+
+// Pair is one candidate AP pair for batch scoring.
+type Pair struct {
+	X       marginal.Var
+	Parents []marginal.Var
+}
+
+// ScoreBatch evaluates every candidate pair, fanning uncached
+// evaluations out across up to `parallelism` workers (<= 0 selects
+// GOMAXPROCS). Results are returned in input order and are bit-identical
+// to sequential Score calls at any parallelism: each evaluation is a
+// pure function of the data, computed serially within its worker, and
+// the cache only memoizes those values. Because every result lands in
+// the cache, a batch call also serves as a parallel precompute for a
+// scorer shared across runs.
+func (s *Scorer) ScoreBatch(parallelism int, pairs []Pair) []float64 {
+	workers := parallel.Workers(parallelism)
+	if workers <= 1 {
+		out := make([]float64, len(pairs))
+		for i, p := range pairs {
+			out[i] = s.Score(p.X, p.Parents)
+		}
+		return out
+	}
+	return parallel.Map(workers, len(pairs), func(i int) float64 {
+		return s.Score(pairs[i].X, pairs[i].Parents)
+	})
 }
 
 // CacheSize reports the number of distinct pairs scored so far.

@@ -6,6 +6,7 @@ import (
 	"privbayes/internal/baseline"
 	"privbayes/internal/dataset"
 	"privbayes/internal/marginal"
+	"privbayes/internal/parallel"
 )
 
 // Evaluator scores marginal sources against a fixed real dataset for one
@@ -22,7 +23,9 @@ type Evaluator struct {
 
 // NewEvaluator prepares an evaluator. maxSubsets > 0 samples that many
 // subsets of Qα without replacement (using rng); 0 keeps the full set.
-func NewEvaluator(real *dataset.Dataset, alpha, maxSubsets int, rng *rand.Rand) *Evaluator {
+// parallelism bounds the worker pool for ground-truth materialization
+// (<= 0 uses all cores, 1 is serial; see parallel.Workers).
+func NewEvaluator(real *dataset.Dataset, alpha, maxSubsets, parallelism int, rng *rand.Rand) *Evaluator {
 	subsets := baseline.Subsets(real.D(), alpha)
 	if maxSubsets > 0 && maxSubsets < len(subsets) {
 		perm := rng.Perm(len(subsets))[:maxSubsets]
@@ -33,14 +36,17 @@ func NewEvaluator(real *dataset.Dataset, alpha, maxSubsets int, rng *rand.Rand) 
 		subsets = picked
 	}
 	e := &Evaluator{real: real, Alpha: alpha, Subsets: subsets}
-	e.truth = make([]*marginal.Table, len(subsets))
-	for i, attrs := range subsets {
+	// Ground-truth marginals are independent full passes over the real
+	// data; fan them out, one serial materialization per subset, with
+	// ordered reduction — bit-identical to the serial loop.
+	e.truth = parallel.Map(parallel.Workers(parallelism), len(subsets), func(i int) *marginal.Table {
+		attrs := subsets[i]
 		vars := make([]marginal.Var, len(attrs))
 		for j, a := range attrs {
 			vars[j] = marginal.Var{Attr: a}
 		}
-		e.truth[i] = marginal.Materialize(real, vars)
-	}
+		return marginal.Materialize(real, vars)
+	})
 	return e
 }
 

@@ -73,7 +73,7 @@ func TestEvaluatorMatchesDirectComputation(t *testing.T) {
 	spec, _ := data.ByName("NLTCS")
 	ds := spec.GenerateN(800)
 	other := spec.GenerateN(400) // different distribution sample
-	e := NewEvaluator(ds, 2, 0, nil)
+	e := NewEvaluator(ds, 2, 0, 1, nil)
 	direct := AvgVariationDistance(ds, &baseline.Dataset{DS: other}, 2)
 	if got := e.AVD(&baseline.Dataset{DS: other}); got != direct {
 		t.Errorf("evaluator AVD %v != direct %v", got, direct)
@@ -83,12 +83,12 @@ func TestEvaluatorMatchesDirectComputation(t *testing.T) {
 func TestEvaluatorSampling(t *testing.T) {
 	spec, _ := data.ByName("NLTCS")
 	ds := spec.GenerateN(300)
-	e := NewEvaluator(ds, 3, 25, rand.New(rand.NewSource(1)))
+	e := NewEvaluator(ds, 3, 25, 4, rand.New(rand.NewSource(1)))
 	if len(e.Subsets) != 25 {
 		t.Fatalf("sampled %d subsets, want 25", len(e.Subsets))
 	}
 	// Sampled estimate should be in the ballpark of the full mean.
-	full := NewEvaluator(ds, 3, 0, nil)
+	full := NewEvaluator(ds, 3, 0, 1, nil)
 	uni := &baseline.Uniform{DS: ds}
 	a, b := e.AVD(uni), full.AVD(uni)
 	if diff := a - b; diff > 0.1 || diff < -0.1 {

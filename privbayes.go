@@ -120,6 +120,13 @@ type Options struct {
 	// Consistency enables the mutual-consistency post-processing of the
 	// noisy marginals (footnote 1 of the paper); costs no privacy.
 	Consistency bool
+	// Parallelism bounds the worker pool for candidate scoring, marginal
+	// counting and sampling. <= 0 (the default) uses all CPU cores; 1
+	// forces the serial code paths. For a fixed seed, Fit and
+	// Synthesize output is bit-identical at every parallelism other
+	// than 1, on any machine; 1 reproduces the pre-engine serial
+	// implementation byte for byte.
+	Parallelism int
 	// Rand is the randomness source; required.
 	Rand *rand.Rand
 }
@@ -134,6 +141,7 @@ func (o Options) toCore(ds *Dataset) (core.Options, error) {
 		Theta:       o.Theta,
 		K:           -1,
 		Consistency: o.Consistency,
+		Parallelism: o.Parallelism,
 		Rand:        o.Rand,
 	}
 	if opt.Beta == 0 {
@@ -178,13 +186,14 @@ func Fit(ds *Dataset, o Options) (*Model, error) {
 
 // Synthesize fits a model and samples a synthetic dataset with the same
 // number of rows as the input. The combined release satisfies
-// ε-differential privacy (Theorem 3.2 of the paper).
+// ε-differential privacy (Theorem 3.2 of the paper). Both phases honour
+// o.Parallelism.
 func Synthesize(ds *Dataset, o Options) (*Dataset, error) {
 	m, err := Fit(ds, o)
 	if err != nil {
 		return nil, err
 	}
-	return m.Sample(ds.N(), o.Rand), nil
+	return m.SampleP(ds.N(), o.Rand, o.Parallelism), nil
 }
 
 // SaveModel persists a fitted model as JSON. Only the noisy model is
