@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench lint cover fmt
+.PHONY: all build test race bench bench-json lint cover fmt
 
 all: build test
 
@@ -19,9 +19,23 @@ race:
 	$(GO) test -race ./...
 
 # One-iteration benchmark smoke pass: catches benchmarks that no longer
-# compile or crash, without paying for stable timings.
+# compile or crash, without paying for stable timings. Includes the
+# shared-vs-legacy scoring benchmarks (BenchmarkScoreBatch*).
 bench:
 	$(GO) test -run NONE -bench . -benchtime 1x ./...
+
+# Timed shared-scan scoring benchmarks, captured machine-readably: runs
+# BenchmarkScoreBatchShared vs BenchmarkScoreBatchLegacy over the
+# (d, k) grid and writes per-benchmark ns/op plus shared-vs-legacy
+# speedups to BENCH_scoring.json.
+# The bench run lands in a temp file first so a benchmark failure fails
+# the target instead of being masked by the pipe into the converter.
+bench-json:
+	$(GO) test -run NONE -bench 'BenchmarkScoreBatch(Shared|Legacy)$$' \
+		-benchtime 1s ./internal/score > bench_scoring.out
+	$(GO) run ./cmd/benchjson < bench_scoring.out > BENCH_scoring.json
+	@rm -f bench_scoring.out
+	@cat BENCH_scoring.json
 
 lint:
 	$(GO) vet ./...

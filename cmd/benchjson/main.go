@@ -1,0 +1,147 @@
+// Command benchjson converts `go test -bench` output on stdin into
+// machine-readable JSON on stdout, so benchmark results can be captured
+// as artifacts (see the Makefile's bench-json target, which writes
+// BENCH_scoring.json) and diffed across commits without screen-scraping.
+//
+// Besides the per-benchmark table it pairs every ScoreBatchShared/<sub>
+// result with its ScoreBatchLegacy/<sub> counterpart and reports the
+// speedup, the headline number of the shared-scan scoring engine.
+//
+// Usage:
+//
+//	go test -run NONE -bench ScoreBatch ./internal/score | benchjson
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the emitted document.
+type Report struct {
+	Goos       string             `json:"goos,omitempty"`
+	Goarch     string             `json:"goarch,omitempty"`
+	Pkg        string             `json:"pkg,omitempty"`
+	CPU        string             `json:"cpu,omitempty"`
+	Benchmarks []Benchmark        `json:"benchmarks"`
+	Speedups   map[string]float64 `json:"speedups,omitempty"`
+}
+
+func main() {
+	rep, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	rep.Speedups = speedups(rep.Benchmarks)
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func parse(sc *bufio.Scanner) (*Report, error) {
+	rep := &Report{Benchmarks: []Benchmark{}}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok := parseBenchLine(line)
+			if ok {
+				rep.Benchmarks = append(rep.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark lines on stdin")
+	}
+	return rep, nil
+}
+
+// parseBenchLine parses "BenchmarkX/sub-8  100  123 ns/op  4 B/op ...".
+// Value/unit pairs beyond ns/op land in Metrics keyed by unit.
+func parseBenchLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Benchmark{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		// Trim the GOMAXPROCS suffix go test appends.
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: name, Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		unit := fields[i+1]
+		if unit == "ns/op" {
+			b.NsPerOp = v
+			continue
+		}
+		if b.Metrics == nil {
+			b.Metrics = map[string]float64{}
+		}
+		b.Metrics[unit] = v
+	}
+	return b, b.NsPerOp > 0
+}
+
+// speedups pairs BenchmarkScoreBatchShared/<sub> with
+// BenchmarkScoreBatchLegacy/<sub> and reports legacy_ns / shared_ns.
+func speedups(benches []Benchmark) map[string]float64 {
+	const shared, legacy = "BenchmarkScoreBatchShared/", "BenchmarkScoreBatchLegacy/"
+	sharedNs := map[string]float64{}
+	legacyNs := map[string]float64{}
+	for _, b := range benches {
+		if sub, ok := strings.CutPrefix(b.Name, shared); ok {
+			sharedNs[sub] = b.NsPerOp
+		}
+		if sub, ok := strings.CutPrefix(b.Name, legacy); ok {
+			legacyNs[sub] = b.NsPerOp
+		}
+	}
+	out := map[string]float64{}
+	for sub, s := range sharedNs {
+		if l, ok := legacyNs[sub]; ok && s > 0 {
+			out["shared_vs_legacy/"+sub] = l / s
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}

@@ -19,20 +19,23 @@ import (
 	"time"
 
 	"privbayes/internal/experiment"
+	"privbayes/internal/profiling"
 )
 
 func main() {
 	var (
-		figure   = flag.String("figure", "", "figure/table id to run (4..19, table4, table5, or 'all')")
-		repeats  = flag.Int("repeats", 3, "runs averaged per point (the paper uses 100)")
-		n        = flag.Int("n", 0, "cap dataset cardinality (0 = paper size)")
-		seed     = flag.Int64("seed", 42, "base random seed")
-		maxK     = flag.Int("maxk", 5, "cap on the binary-mode network degree (0 = uncapped)")
-		subsets  = flag.Int("queries", 400, "evaluate at most this many Qα subsets (0 = all)")
-		heavy    = flag.Bool("heavy", false, "enable full-domain baselines on ACS (slow)")
-		par      = flag.Int("parallelism", 0, "worker pool size per run (0 = all cores, 1 = serial)")
-		epsFlag  = flag.String("eps", "", "comma-separated ε grid override")
-		listOnly = flag.Bool("list", false, "list runnable experiment ids and exit")
+		figure     = flag.String("figure", "", "figure/table id to run (4..19, table4, table5, or 'all')")
+		repeats    = flag.Int("repeats", 3, "runs averaged per point (the paper uses 100)")
+		n          = flag.Int("n", 0, "cap dataset cardinality (0 = paper size)")
+		seed       = flag.Int64("seed", 42, "base random seed")
+		maxK       = flag.Int("maxk", 5, "cap on the binary-mode network degree (0 = uncapped)")
+		subsets    = flag.Int("queries", 400, "evaluate at most this many Qα subsets (0 = all)")
+		heavy      = flag.Bool("heavy", false, "enable full-domain baselines on ACS (slow)")
+		par        = flag.Int("parallelism", 0, "worker pool size per run (0 = all cores, 1 = serial)")
+		epsFlag    = flag.String("eps", "", "comma-separated ε grid override")
+		listOnly   = flag.Bool("list", false, "list runnable experiment ids and exit")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -47,28 +50,41 @@ func main() {
 		os.Exit(2)
 	}
 
+	// run is wrapped so the profile flush runs on failure exits too — a
+	// failing run is exactly when the profiles are wanted.
+	stop, err := profiling.Start(*cpuprofile, *memprofile, "experiments")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	code := run(*figure, *repeats, *n, *seed, *maxK, *subsets, *heavy, *par, *epsFlag)
+	stop()
+	os.Exit(code)
+}
+
+func run(figure string, repeats, n int, seed int64, maxK, subsets int, heavy bool, par int, epsFlag string) int {
 	cfg := experiment.DefaultConfig()
-	cfg.Repeats = *repeats
-	cfg.N = *n
-	cfg.Seed = *seed
-	cfg.MaxK = *maxK
-	cfg.MaxQuerySubsets = *subsets
-	cfg.Heavy = *heavy
-	cfg.Parallelism = *par
+	cfg.Repeats = repeats
+	cfg.N = n
+	cfg.Seed = seed
+	cfg.MaxK = maxK
+	cfg.MaxQuerySubsets = subsets
+	cfg.Heavy = heavy
+	cfg.Parallelism = par
 	cfg.Out = os.Stdout
-	if *epsFlag != "" {
-		for _, tok := range strings.Split(*epsFlag, ",") {
+	if epsFlag != "" {
+		for _, tok := range strings.Split(epsFlag, ",") {
 			v, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "experiments: bad -eps value %q: %v\n", tok, err)
-				os.Exit(2)
+				return 2
 			}
 			cfg.Eps = append(cfg.Eps, v)
 		}
 	}
 
-	ids := []string{*figure}
-	if *figure == "all" {
+	ids := []string{figure}
+	if figure == "all" {
 		ids = experiment.Figures()
 	}
 	fmt.Println("figure,panel,series,x,value")
@@ -77,8 +93,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "== running %s ==\n", id)
 		if _, err := experiment.Run(id, cfg); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s failed: %v\n", id, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Fprintf(os.Stderr, "== %s done in %v ==\n", id, time.Since(start))
 	}
+	return 0
 }

@@ -24,26 +24,36 @@ import (
 	"strconv"
 
 	"privbayes"
+	"privbayes/internal/profiling"
 )
 
 func main() {
 	var (
-		in      = flag.String("in", "", "input CSV file with a header row (required)")
-		out     = flag.String("out", "", "output CSV file (required)")
-		epsilon = flag.Float64("epsilon", 1.0, "total differential-privacy budget ε")
-		beta    = flag.Float64("beta", 0.3, "budget fraction for network learning")
-		theta   = flag.Float64("theta", 4, "θ-usefulness threshold")
-		bins    = flag.Int("bins", 16, "bins for continuous attributes")
-		rows    = flag.Int("rows", 0, "synthetic rows to emit (0 = same as input)")
-		seed    = flag.Int64("seed", 1, "random seed")
-		par     = flag.Int("parallelism", 0, "worker pool size (0 = all cores, 1 = serial)")
+		in         = flag.String("in", "", "input CSV file with a header row (required)")
+		out        = flag.String("out", "", "output CSV file (required)")
+		epsilon    = flag.Float64("epsilon", 1.0, "total differential-privacy budget ε")
+		beta       = flag.Float64("beta", 0.3, "budget fraction for network learning")
+		theta      = flag.Float64("theta", 4, "θ-usefulness threshold")
+		bins       = flag.Int("bins", 16, "bins for continuous attributes")
+		rows       = flag.Int("rows", 0, "synthetic rows to emit (0 = same as input)")
+		seed       = flag.Int64("seed", 1, "random seed")
+		par        = flag.Int("parallelism", 0, "worker pool size (0 = all cores, 1 = serial)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	if *in == "" || *out == "" {
 		fmt.Fprintln(os.Stderr, "privbayes: -in and -out are required")
 		os.Exit(2)
 	}
-	if err := run(*in, *out, *epsilon, *beta, *theta, *bins, *rows, *par, *seed); err != nil {
+	stop, err := profiling.Start(*cpuprofile, *memprofile, "privbayes")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "privbayes:", err)
+		os.Exit(1)
+	}
+	err = run(*in, *out, *epsilon, *beta, *theta, *bins, *rows, *par, *seed)
+	stop()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "privbayes:", err)
 		os.Exit(1)
 	}

@@ -30,7 +30,16 @@ import (
 // (exact-count merging makes the joints worker-count independent);
 // parallelism 1 reproduces the pre-engine serial accumulation byte for
 // byte.
+//
+// NoisyConditionalsBinary materializes each joint from scratch; the Fit
+// pipeline instead routes through the cached variant so the chosen
+// pairs' joints come from the parent-configuration indexes the final
+// greedy iterations already built (see materializeJoint).
 func NoisyConditionalsBinary(ds *dataset.Dataset, net Network, k int, eps2 float64, noNoise, consistent bool, parallelism int, rng *rand.Rand) ([]*marginal.Conditional, error) {
+	return noisyConditionalsBinary(ds, net, k, eps2, noNoise, consistent, parallelism, rng, nil)
+}
+
+func noisyConditionalsBinary(ds *dataset.Dataset, net Network, k int, eps2 float64, noNoise, consistent bool, parallelism int, rng *rand.Rand, cache *marginal.IndexCache) ([]*marginal.Conditional, error) {
 	d := len(net.Pairs)
 	conds := make([]*marginal.Conditional, d)
 	if d == 0 {
@@ -43,7 +52,7 @@ func NoisyConditionalsBinary(ds *dataset.Dataset, net Network, k int, eps2 float
 	scale := 2 * float64(d-k) / (n * eps2)
 
 	joints := parallel.Map(parallel.Workers(parallelism), d-k, func(j int) *marginal.Table {
-		return marginal.MaterializeP(ds, net.Pairs[k+j].Vars(), parallelism)
+		return materializeJoint(ds, net.Pairs[k+j], parallelism, cache)
 	})
 	for _, joint := range joints {
 		if !noNoise {
@@ -69,6 +78,33 @@ func NoisyConditionalsBinary(ds *dataset.Dataset, net Network, k int, eps2 float
 		conds[i] = marginal.ConditionalFromJoint(sub)
 	}
 	return conds, nil
+}
+
+// materializeJoint produces the empirical joint Pr[Π, X] of one AP pair.
+// With a parent-configuration index cache (the scorer's, inside Fit) the
+// parent scan the final greedy iterations already paid is reused and
+// only the child column is walked; without one it falls back to
+// marginal.MaterializeP. Both routes are bit-identical at every
+// parallelism: counts merge exactly, parallelism != 1 normalizes by one
+// 1/n scale exactly like MaterializeP, and parallelism 1 normalizes
+// through marginal.Ladder, which reproduces the serial Materialize
+// accumulation byte for byte.
+func materializeJoint(ds *dataset.Dataset, pair APPair, parallelism int, cache *marginal.IndexCache) *marginal.Table {
+	n := ds.N()
+	if cache == nil || n == 0 {
+		return marginal.MaterializeP(ds, pair.Vars(), parallelism)
+	}
+	if _, ok := marginal.ParentConfigs(ds, pair.Parents); !ok {
+		return marginal.MaterializeP(ds, pair.Vars(), parallelism)
+	}
+	ix := cache.Get(ds, pair.Parents, parallelism)
+	t := ix.CountChildren(ds, []marginal.Var{pair.X}, parallelism)[0]
+	if parallelism == 1 {
+		cache.Ladder(n).Apply(t)
+	} else {
+		t.Scale(1 / float64(n))
+	}
+	return t
 }
 
 // projectOnto marginalizes the anchor joint onto [pair.Parents...,
@@ -98,12 +134,16 @@ func projectOnto(anchor *marginal.Table, pair APPair) (*marginal.Table, error) {
 // keeping the output bit-identical at every parallelism other than 1
 // (see NoisyConditionalsBinary for the contract).
 func NoisyConditionalsGeneral(ds *dataset.Dataset, net Network, eps2 float64, noNoise, consistent bool, parallelism int, rng *rand.Rand) []*marginal.Conditional {
+	return noisyConditionalsGeneral(ds, net, eps2, noNoise, consistent, parallelism, rng, nil)
+}
+
+func noisyConditionalsGeneral(ds *dataset.Dataset, net Network, eps2 float64, noNoise, consistent bool, parallelism int, rng *rand.Rand, cache *marginal.IndexCache) []*marginal.Conditional {
 	d := len(net.Pairs)
 	conds := make([]*marginal.Conditional, d)
 	n := float64(ds.N())
 	scale := 2 * float64(d) / (n * eps2)
 	joints := parallel.Map(parallel.Workers(parallelism), d, func(i int) *marginal.Table {
-		return marginal.MaterializeP(ds, net.Pairs[i].Vars(), parallelism)
+		return materializeJoint(ds, net.Pairs[i], parallelism, cache)
 	})
 	for _, joint := range joints {
 		if !noNoise {

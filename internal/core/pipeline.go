@@ -55,6 +55,13 @@ type Options struct {
 	// Scorer optionally supplies a pre-built (possibly shared) score
 	// cache; it must wrap the same dataset and score function.
 	Scorer *score.Scorer
+	// ScorerCacheSize bounds the score memo of the scorer Fit builds
+	// when Scorer is nil: at most this many scored pairs are retained,
+	// evicted least-recently-used. <= 0 (the default) keeps the memo
+	// unbounded. Long-running services that fit many models against one
+	// dataset set a bound so the memo cannot grow without limit;
+	// eviction never changes results, only recompute cost.
+	ScorerCacheSize int
 	// InfiniteNetworkBudget removes the noise from network learning
 	// (ε₁ = ∞, exponential mechanism becomes argmax): the BestNetwork
 	// reference of Figure 11. Distribution learning still uses ε₂.
@@ -145,7 +152,7 @@ func Fit(ds *dataset.Dataset, opt Options) (*Model, error) {
 
 	sc := opt.Scorer
 	if sc == nil {
-		sc = score.NewScorer(opt.Score, ds)
+		sc = score.NewScorerSized(opt.Score, ds, opt.ScorerCacheSize)
 	} else if sc.Fn != opt.Score {
 		return nil, fmt.Errorf("core: supplied scorer computes %v, options ask for %v", sc.Fn, opt.Score)
 	}
@@ -169,14 +176,16 @@ func Fit(ds *dataset.Dataset, opt Options) (*Model, error) {
 		// choice exists; we keep the split, which matches footnote 6's
 		// observation without changing behaviour materially.
 		m.Network = GreedyBayesBinary(ds, k, eps1, sc, opt.Parallelism, opt.Rand)
-		conds, err := NoisyConditionalsBinary(ds, m.Network, k, eps2, opt.InfiniteMarginalBudget, opt.Consistency, opt.Parallelism, opt.Rand)
+		// Reuse the parent-configuration indexes the greedy iterations
+		// built: the chosen pairs' joints need only a child-column pass.
+		conds, err := noisyConditionalsBinary(ds, m.Network, k, eps2, opt.InfiniteMarginalBudget, opt.Consistency, opt.Parallelism, opt.Rand, sc.Indexes())
 		if err != nil {
 			return nil, err
 		}
 		m.Conds = conds
 	case ModeGeneral:
 		m.Network = GreedyBayesGeneral(ds, opt.Theta, eps1, eps2, opt.UseHierarchy, sc, opt.Parallelism, opt.Rand)
-		m.Conds = NoisyConditionalsGeneral(ds, m.Network, eps2, opt.InfiniteMarginalBudget, opt.Consistency, opt.Parallelism, opt.Rand)
+		m.Conds = noisyConditionalsGeneral(ds, m.Network, eps2, opt.InfiniteMarginalBudget, opt.Consistency, opt.Parallelism, opt.Rand, sc.Indexes())
 	default:
 		return nil, fmt.Errorf("core: unknown mode %d", opt.Mode)
 	}

@@ -1,0 +1,465 @@
+package marginal
+
+// This file implements the shared-scan counting engine behind batch
+// candidate scoring (Algorithm 2's dominant cost). Within one greedy
+// iteration the C(|V|,k)·(d−|V|) exponential-mechanism candidates share
+// only C(|V|,k) distinct parent sets, and those parent sets recur across
+// iterations; materializing each candidate's joint with its own O(n·(k+1))
+// row scan therefore repeats almost all of the work. A ParentIndex pays
+// the O(n·k) parent-configuration scan once per parent set, after which
+// every child's joint costs a single fused O(n) pass — and an IndexCache
+// keyed by the parent set makes the index reusable across children,
+// greedy iterations, and the final conditional materialization.
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"privbayes/internal/dataset"
+	"privbayes/internal/parallel"
+)
+
+// MaxParentConfigs bounds the flat parent-configuration space a
+// ParentIndex can encode in its uint32 codes. Parent sets beyond it —
+// unreachable under θ-usefulness domain caps — must fall back to
+// per-candidate materialization.
+const MaxParentConfigs = math.MaxUint32
+
+// ParentIndex encodes each dataset row's parent-set configuration as a
+// flat code: Codes[r] is the row-major index of row r's (generalized)
+// parent values, exactly the cell offset a [parents...] count table would
+// use. One index drives joint counting for any number of child
+// attributes via CountChildren, replacing per-candidate O(n·(k+1)) scans
+// with a single fused O(n) pass per child.
+type ParentIndex struct {
+	// Vars are the parent variables in materialization order. The order
+	// is part of the index identity: joint tables are laid out
+	// [Vars..., child], matching what Materialize would produce for the
+	// same ordered variable list.
+	Vars []Var
+	// Dims are the per-parent domain sizes (at their taxonomy levels).
+	Dims []int
+	// PiDim is the number of parent configurations (product of Dims).
+	PiDim int
+	// Codes holds one configuration code per row. It is nil when the
+	// parent set is empty (every row is configuration 0).
+	Codes []uint32
+
+	n int
+
+	mu       sync.Mutex
+	piCounts []float64 // exact per-configuration counts; derived lazily
+	hpi      float64   // cached H(Π); valid once hpiSet
+	hpiSet   bool
+}
+
+// BuildParentIndex scans the dataset once — O(n·k) with taxonomy
+// generalization applied through the usual lookup tables — and returns
+// the parent-configuration index. Row codes are written by row position,
+// so the result is identical at every parallelism (<= 0 selects
+// GOMAXPROCS). Panics if the configuration space exceeds
+// MaxParentConfigs; callers guard with ParentConfigs first.
+func BuildParentIndex(ds *dataset.Dataset, parents []Var, parallelism int) *ParentIndex {
+	ix := &ParentIndex{
+		Vars: append([]Var(nil), parents...),
+		Dims: make([]int, len(parents)),
+		n:    ds.N(),
+	}
+	size := 1
+	for i, v := range parents {
+		ix.Dims[i] = v.Size(ds)
+		size *= ix.Dims[i]
+		if size <= 0 || int64(size) > MaxParentConfigs {
+			panic(fmt.Sprintf("marginal: parent set %v has more than %d configurations", parents, MaxParentConfigs))
+		}
+	}
+	ix.PiDim = size
+	if len(parents) == 0 || ix.n == 0 {
+		return ix
+	}
+	t := &Table{Vars: ix.Vars, Dims: ix.Dims}
+	c := newCounter(t, ds)
+	ix.Codes = make([]uint32, ix.n)
+	workers := parallel.Workers(parallelism)
+	parallel.ForChunks(workers, ix.n, materializeChunk, func(_, lo, hi int) {
+		// Parent-outer accumulation: codes[r] = Σ stride_i·code_i(r).
+		// Each pass is a tight two-array loop (hoisted column, stride and
+		// lookup), and the chunk keeps the codes slice L1-resident.
+		codes := ix.Codes[lo:hi]
+		for i := range c.strides {
+			col := c.cols[i][lo:hi]
+			stride := uint32(c.strides[i])
+			if g := c.gen[i]; g != nil {
+				for r, v := range col {
+					codes[r] += uint32(g[v]) * stride
+				}
+			} else {
+				for r, v := range col {
+					codes[r] += uint32(v) * stride
+				}
+			}
+		}
+	})
+	c.release()
+	return ix
+}
+
+// ParentConfigs returns the size of the flat configuration space for a
+// parent set, or false when it exceeds MaxParentConfigs (overflow-safe).
+func ParentConfigs(ds *dataset.Dataset, parents []Var) (int, bool) {
+	size := int64(1)
+	for _, v := range parents {
+		size *= int64(v.Size(ds))
+		if size <= 0 || size > MaxParentConfigs {
+			return 0, false
+		}
+	}
+	return int(size), true
+}
+
+// N returns the number of indexed rows.
+func (ix *ParentIndex) N() int { return ix.n }
+
+// CountChildren materializes the exact joint count tables over
+// [ix.Vars..., child] for every child in a single fused pass over the
+// rows: each row contributes one increment per child at offset
+// Codes[r]·|dom(child)| + code(child). Counts are integer-valued, so
+// per-worker partials merge exactly and the result is bit-identical to
+// MaterializeCounts for each child, at every parallelism.
+func (ix *ParentIndex) CountChildren(ds *dataset.Dataset, children []Var, parallelism int) []*Table {
+	m := len(children)
+	out := make([]*Table, m)
+	vars := make([][]Var, m)
+	for j, ch := range children {
+		vars[j] = append(append([]Var(nil), ix.Vars...), ch)
+		out[j] = NewTable(ds, vars[j])
+	}
+	if m == 0 {
+		return out
+	}
+	if ix.n == 0 {
+		return out
+	}
+
+	// Per-child column, generalization lookup and domain size for the
+	// fused inner loop.
+	cols := make([][]uint16, m)
+	gens := make([][]int, m)
+	xdim := make([]int, m)
+	for j, ch := range children {
+		cols[j] = ds.Column(ch.Attr)
+		xdim[j] = ch.Size(ds)
+		if ch.Level > 0 {
+			a := ds.Attr(ch.Attr)
+			g := getInts(a.Size())
+			for code := range g {
+				g[code] = a.Generalize(ch.Level, code)
+			}
+			gens[j] = g
+		}
+	}
+	defer func() {
+		for _, g := range gens {
+			if g != nil {
+				putInts(g)
+			}
+		}
+	}()
+
+	workers := parallel.Workers(parallelism)
+	nc := parallel.Chunks(ix.n, materializeChunk)
+	if workers <= 1 || nc <= 1 {
+		dst := make([][]float64, m)
+		for j := range dst {
+			dst[j] = out[j].P
+		}
+		// Chunked even when serial: each chunk's parent codes stay
+		// L1-resident across the per-child passes.
+		for lo := 0; lo < ix.n; lo += materializeChunk {
+			hi := min(lo+materializeChunk, ix.n)
+			ix.countChildrenRange(lo, hi, cols, gens, xdim, dst)
+		}
+	} else {
+		scratch := make([][][]float64, workers)
+		parallel.ForChunks(workers, ix.n, materializeChunk, func(worker, lo, hi int) {
+			if scratch[worker] == nil {
+				s := make([][]float64, m)
+				for j := range s {
+					s[j] = getFloats(len(out[j].P))
+				}
+				scratch[worker] = s
+			}
+			ix.countChildrenRange(lo, hi, cols, gens, xdim, scratch[worker])
+		})
+		for _, s := range scratch {
+			if s == nil {
+				continue
+			}
+			for j := range s {
+				dst := out[j].P
+				for i, v := range s[j] {
+					dst[i] += v
+				}
+				putFloats(s[j])
+			}
+		}
+	}
+
+	// Derive the Π marginal by projection from the first child joint —
+	// integer sums are exact, so any child yields the same counts and no
+	// extra row scan is ever needed.
+	ix.mu.Lock()
+	if ix.piCounts == nil {
+		ix.piCounts = projectPiCounts(out[0].P, xdim[0], ix.PiDim)
+	}
+	ix.mu.Unlock()
+	return out
+}
+
+// countChildrenRange is the fused counting kernel: within one row chunk
+// the parent codes stay L1-resident while each child is counted by a
+// tight two-array loop with hoisted column, lookup and destination — one
+// increment per (row, child), never re-reading the parent columns.
+func (ix *ParentIndex) countChildrenRange(lo, hi int, cols [][]uint16, gens [][]int, xdim []int, dst [][]float64) {
+	var codes []uint32
+	if ix.Codes != nil {
+		codes = ix.Codes[lo:hi]
+	}
+	for j := range cols {
+		col := cols[j][lo:hi]
+		d := dst[j]
+		xd := xdim[j]
+		switch {
+		case codes == nil && gens[j] == nil:
+			for _, v := range col {
+				d[v]++
+			}
+		case codes == nil:
+			g := gens[j]
+			for _, v := range col {
+				d[g[v]]++
+			}
+		case gens[j] == nil:
+			for r, v := range col {
+				d[int(codes[r])*xd+int(v)]++
+			}
+		default:
+			g := gens[j]
+			for r, v := range col {
+				d[int(codes[r])*xd+g[v]]++
+			}
+		}
+	}
+}
+
+// projectPiCounts sums a [Π..., X] count table over its child dimension.
+func projectPiCounts(joint []float64, xdim, piDim int) []float64 {
+	pi := make([]float64, piDim)
+	for p := 0; p < piDim; p++ {
+		var s float64
+		for x := 0; x < xdim; x++ {
+			s += joint[p*xdim+x]
+		}
+		pi[p] = s
+	}
+	return pi
+}
+
+// PiCounts returns the exact per-configuration counts of the parent
+// marginal, deriving them from Codes when no child joint has provided
+// them by projection yet. The caller must not mutate the result.
+func (ix *ParentIndex) PiCounts() []float64 {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if ix.piCounts == nil {
+		counts := make([]float64, ix.PiDim)
+		if ix.Codes == nil {
+			counts[0] = float64(ix.n)
+		} else {
+			for _, c := range ix.Codes {
+				counts[c]++
+			}
+		}
+		ix.piCounts = counts
+	}
+	return ix.piCounts
+}
+
+// PiTable returns the parent-set count marginal as a Table (a copy).
+func (ix *ParentIndex) PiTable() *Table {
+	return &Table{
+		Vars: append([]Var(nil), ix.Vars...),
+		Dims: append([]int(nil), ix.Dims...),
+		P:    append([]float64(nil), ix.PiCounts()...),
+	}
+}
+
+// Entropy returns H(Π) in bits, computed from the exact parent counts
+// and cached on the index — so the per-parent-set entropy is paid once
+// across all children and greedy iterations that share the parent set.
+// Note the bit-identity contract of batch scoring prevents substituting
+// this shared value inside MI/R score evaluation (each candidate's
+// per-joint float accumulation order must be preserved); it serves
+// entropy consumers such as diagnostics and model-quality measures.
+func (ix *ParentIndex) Entropy() float64 {
+	counts := ix.PiCounts()
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if !ix.hpiSet {
+		var h float64
+		n := float64(ix.n)
+		if n > 0 {
+			for _, c := range counts {
+				if c > 0 {
+					p := c / n
+					h -= p * math.Log2(p)
+				}
+			}
+		}
+		ix.hpi, ix.hpiSet = h, true
+	}
+	return ix.hpi
+}
+
+// Ladder reproduces, from exact integer counts, the cell values the
+// serial Materialize produces by repeatedly accumulating +1/n: cum[m] is
+// the float64 result of m successive additions of 1/n starting from 0,
+// which is exactly the partial-sum sequence of a cell hit m times. It is
+// the piece that lets the shared-scan engine return bit-identical
+// probabilities to the legacy per-candidate scans without re-walking the
+// rows. Growth is lazy and synchronized; slices returned by UpTo are
+// safe for concurrent reads (entries are written once, before exposure).
+type Ladder struct {
+	mu  sync.Mutex
+	inv float64
+	cum []float64
+}
+
+// NewLadder creates a ladder for datasets of n rows (n > 0).
+func NewLadder(n int) *Ladder {
+	if n <= 0 {
+		panic("marginal: Ladder requires n > 0")
+	}
+	return &Ladder{inv: 1 / float64(n), cum: make([]float64, 1, 64)}
+}
+
+// UpTo returns the cumulative table grown to at least m+1 entries, so
+// result[c] is valid for any count c <= m.
+func (l *Ladder) UpTo(m int) []float64 {
+	l.mu.Lock()
+	for len(l.cum) <= m {
+		l.cum = append(l.cum, l.cum[len(l.cum)-1]+l.inv)
+	}
+	c := l.cum
+	l.mu.Unlock()
+	return c
+}
+
+// Apply rescales an exact count table into the probability table the
+// serial Materialize would have produced, bit for bit.
+func (l *Ladder) Apply(t *Table) {
+	maxC := 0
+	for _, p := range t.P {
+		if int(p) > maxC {
+			maxC = int(p)
+		}
+	}
+	cum := l.UpTo(maxC)
+	for i, p := range t.P {
+		t.P[i] = cum[int(p)]
+	}
+}
+
+// IndexCache is a bounded, concurrency-safe LRU of ParentIndex values
+// keyed by the ordered parent-variable list. Greedy network learning
+// hits it across children within an iteration and across iterations
+// (candidate parent sets recur as V grows), and the final conditional
+// materialization reuses the indexes of the chosen pairs. Entries are
+// pure functions of the dataset, so cache hits can never change results
+// — eviction only costs a rebuild.
+type IndexCache struct {
+	mu     sync.Mutex
+	lru    *VarLRU[*ParentIndex]
+	ladder *Ladder
+	hits   int64
+	misses int64
+}
+
+// DefaultIndexCacheCap bounds an IndexCache when the caller does not
+// choose a capacity. Each cached index costs ~4 bytes per dataset row.
+const DefaultIndexCacheCap = 64
+
+// NewIndexCache creates a cache holding at most capacity indexes
+// (capacity <= 0 selects DefaultIndexCacheCap).
+func NewIndexCache(capacity int) *IndexCache {
+	if capacity <= 0 {
+		capacity = DefaultIndexCacheCap
+	}
+	return &IndexCache{lru: NewVarLRU[*ParentIndex](capacity)}
+}
+
+// VarsKey hashes an ordered variable list into the compact uint64 keys
+// the scoring memo and index cache use (FNV-1a over attr/level words).
+// Callers must verify equality on the stored vars — the cache structures
+// here do — since 64-bit hashes can in principle collide.
+func VarsKey(vars []Var) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for _, v := range vars {
+		h ^= uint64(uint32(v.Attr))
+		h *= prime
+		h ^= uint64(uint32(v.Level))
+		h *= prime
+	}
+	return h
+}
+
+// Get returns the index for the ordered parent list, building it with
+// the given parallelism on a miss. Concurrent misses for the same key
+// may build twice; the indexes are identical, and the first inserted
+// entry wins, so results are unaffected.
+func (c *IndexCache) Get(ds *dataset.Dataset, parents []Var, parallelism int) *ParentIndex {
+	key := VarsKey(parents)
+	c.mu.Lock()
+	if ix, ok := c.lru.Get(key, parents); ok {
+		c.hits++
+		c.mu.Unlock()
+		return ix
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	ix := BuildParentIndex(ds, parents, parallelism)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// A raced builder may have inserted first; share its (identical) index.
+	return c.lru.PutIfAbsent(key, append([]Var(nil), parents...), ix)
+}
+
+// Ladder returns the cache's shared repeated-addition ladder for n-row
+// datasets, creating it on first use. All users of one cache normalize
+// against one ladder, so its lazily grown prefix is shared too.
+func (c *IndexCache) Ladder(n int) *Ladder {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ladder == nil {
+		c.ladder = NewLadder(n)
+	}
+	return c.ladder
+}
+
+// Len reports the number of cached indexes.
+func (c *IndexCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// Stats reports cache hits and misses since creation.
+func (c *IndexCache) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

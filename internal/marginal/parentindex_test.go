@@ -1,0 +1,249 @@
+package marginal
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"privbayes/internal/dataset"
+)
+
+// hierData builds a dataset whose first attribute carries a two-level
+// taxonomy, for generalization-aware index tests.
+func hierData(n int, seed int64) *dataset.Dataset {
+	h := dataset.NewCategorical("city", []string{"a", "b", "c", "d"})
+	h.Hierarchy = dataset.NewHierarchy(4, []int{0, 0, 1, 1})
+	attrs := []dataset.Attribute{
+		h,
+		dataset.NewCategorical("x", []string{"0", "1", "2"}),
+		dataset.NewCategorical("y", []string{"0", "1"}),
+	}
+	ds := dataset.New(attrs)
+	rng := rand.New(rand.NewSource(seed))
+	rec := make([]uint16, 3)
+	for r := 0; r < n; r++ {
+		rec[0], rec[1], rec[2] = uint16(rng.Intn(4)), uint16(rng.Intn(3)), uint16(rng.Intn(2))
+		ds.Append(rec)
+	}
+	return ds
+}
+
+// TestParentIndexCodes checks each row's code is the flat cell index a
+// [parents...] table would assign, including at taxonomy levels > 0.
+func TestParentIndexCodes(t *testing.T) {
+	ds := hierData(500, 1)
+	parents := []Var{{Attr: 0, Level: 1}, {Attr: 1}}
+	for _, par := range []int{1, 4} {
+		ix := BuildParentIndex(ds, parents, par)
+		if ix.PiDim != 2*3 {
+			t.Fatalf("PiDim = %d, want 6", ix.PiDim)
+		}
+		ref := NewTable(ds, parents)
+		for r := 0; r < ds.N(); r++ {
+			want := ref.Index([]int{
+				ds.Attr(0).Generalize(1, ds.Value(r, 0)),
+				ds.Value(r, 1),
+			})
+			if int(ix.Codes[r]) != want {
+				t.Fatalf("parallelism %d row %d: code %d, want %d", par, r, ix.Codes[r], want)
+			}
+		}
+	}
+}
+
+// TestCountChildrenMatchesMaterializeCounts checks the fused multi-child
+// pass is bit-identical to per-child MaterializeCounts at every
+// parallelism, including generalized children.
+func TestCountChildrenMatchesMaterializeCounts(t *testing.T) {
+	ds := hierData(4000, 2)
+	parents := []Var{{Attr: 1}}
+	children := []Var{{Attr: 0}, {Attr: 2}, {Attr: 0, Level: 1}}
+	for _, par := range []int{1, 2, 8} {
+		ix := BuildParentIndex(ds, parents, par)
+		got := ix.CountChildren(ds, children, par)
+		for j, ch := range children {
+			want := MaterializeCounts(ds, append(append([]Var(nil), parents...), ch))
+			if len(got[j].P) != len(want.P) {
+				t.Fatalf("child %v: %d cells, want %d", ch, len(got[j].P), len(want.P))
+			}
+			for i := range want.P {
+				if got[j].P[i] != want.P[i] {
+					t.Fatalf("parallelism %d child %v cell %d: %g, want %g", par, ch, i, got[j].P[i], want.P[i])
+				}
+			}
+		}
+	}
+}
+
+// TestParentIndexPiProjection checks the Π marginal derived by
+// projection from a child joint equals a direct count scan.
+func TestParentIndexPiProjection(t *testing.T) {
+	ds := hierData(3000, 3)
+	parents := []Var{{Attr: 0, Level: 1}, {Attr: 2}}
+	ix := BuildParentIndex(ds, parents, 2)
+	ix.CountChildren(ds, []Var{{Attr: 1}}, 2) // seeds piCounts by projection
+	want := MaterializeCounts(ds, parents)
+	pi := ix.PiTable()
+	for i := range want.P {
+		if pi.P[i] != want.P[i] {
+			t.Fatalf("Π cell %d: %g, want %g", i, pi.P[i], want.P[i])
+		}
+	}
+	// Without a child joint the counts come from the codes directly.
+	ix2 := BuildParentIndex(ds, parents, 1)
+	got := ix2.PiCounts()
+	for i := range want.P {
+		if got[i] != want.P[i] {
+			t.Fatalf("direct Π cell %d: %g, want %g", i, got[i], want.P[i])
+		}
+	}
+}
+
+// TestParentIndexEntropy checks H(Π) against a direct computation and
+// that the empty parent set has zero entropy.
+func TestParentIndexEntropy(t *testing.T) {
+	ds := hierData(2000, 4)
+	parents := []Var{{Attr: 0}}
+	ix := BuildParentIndex(ds, parents, 1)
+	counts := MaterializeCounts(ds, parents)
+	var want float64
+	for _, c := range counts.P {
+		if c > 0 {
+			p := c / float64(ds.N())
+			want -= p * math.Log2(p)
+		}
+	}
+	if got := ix.Entropy(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("H(Π) = %v, want %v", got, want)
+	}
+	if got := ix.Entropy(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("cached H(Π) = %v, want %v", got, want)
+	}
+	empty := BuildParentIndex(ds, nil, 1)
+	if got := empty.Entropy(); got != 0 {
+		t.Errorf("H(∅) = %v, want 0", got)
+	}
+}
+
+// TestEmptyParentSetCounting checks the degenerate single-configuration
+// index counts children like a plain one-variable scan.
+func TestEmptyParentSetCounting(t *testing.T) {
+	ds := hierData(1500, 5)
+	ix := BuildParentIndex(ds, nil, 4)
+	if ix.PiDim != 1 || ix.Codes != nil {
+		t.Fatalf("empty parent set: PiDim %d Codes %v", ix.PiDim, ix.Codes != nil)
+	}
+	got := ix.CountChildren(ds, []Var{{Attr: 2}}, 4)[0]
+	want := MaterializeCounts(ds, []Var{{Attr: 2}})
+	for i := range want.P {
+		if got.P[i] != want.P[i] {
+			t.Fatalf("cell %d: %g, want %g", i, got.P[i], want.P[i])
+		}
+	}
+}
+
+// TestLadderReproducesSerialMaterialize checks the counts→probabilities
+// ladder is bit-identical to the serial Materialize accumulation — the
+// property that lets shared-scan scoring return byte-equal values.
+func TestLadderReproducesSerialMaterialize(t *testing.T) {
+	ds := randomData(9973, 4, 3, 6) // odd n, so 1/n is not exact
+	vars := []Var{{Attr: 0}, {Attr: 2}, {Attr: 3}}
+	counts := MaterializeCounts(ds, vars)
+	lad := NewLadder(ds.N())
+	lad.Apply(counts)
+	want := Materialize(ds, vars)
+	for i := range want.P {
+		if counts.P[i] != want.P[i] {
+			t.Fatalf("cell %d: ladder %v, serial %v", i, counts.P[i], want.P[i])
+		}
+	}
+}
+
+// TestIndexCacheLRU checks capacity bounds, hit accounting and
+// order-sensitivity of the key (layout differs, so ordered lists are
+// distinct cache identities).
+func TestIndexCacheLRU(t *testing.T) {
+	ds := hierData(300, 7)
+	c := NewIndexCache(2)
+	a := c.Get(ds, []Var{{Attr: 0}}, 1)
+	if got := c.Get(ds, []Var{{Attr: 0}}, 1); got != a {
+		t.Error("second Get should hit the cached index")
+	}
+	c.Get(ds, []Var{{Attr: 1}}, 1)
+	c.Get(ds, []Var{{Attr: 2}}, 1) // evicts {0}, the least recently used
+	if c.Len() != 2 {
+		t.Fatalf("cache holds %d indexes, want 2", c.Len())
+	}
+	if got := c.Get(ds, []Var{{Attr: 0}}, 1); got == a {
+		t.Error("evicted index should have been rebuilt")
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 4 {
+		t.Errorf("stats = %d hits %d misses, want 1/4", hits, misses)
+	}
+	// Ordered lists are distinct identities: layouts differ.
+	big := NewIndexCache(8)
+	x := big.Get(ds, []Var{{Attr: 0}, {Attr: 1}}, 1)
+	y := big.Get(ds, []Var{{Attr: 1}, {Attr: 0}}, 1)
+	if x == y {
+		t.Error("parent orderings must cache separately (different layouts)")
+	}
+	if big.Len() != 2 {
+		t.Errorf("cache holds %d indexes, want 2", big.Len())
+	}
+}
+
+// TestIndexCacheConcurrent stresses concurrent Get on overlapping parent
+// sets (run with -race); every goroutine must see correct indexes.
+func TestIndexCacheConcurrent(t *testing.T) {
+	ds := hierData(2000, 8)
+	c := NewIndexCache(3)
+	want := MaterializeCounts(ds, []Var{{Attr: 0}, {Attr: 1}})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for trial := 0; trial < 20; trial++ {
+				parents := []Var{{Attr: (g + trial) % 3}}
+				ix := c.Get(ds, parents, 2)
+				if ix.PiDim != parents[0].Size(ds) {
+					t.Errorf("PiDim %d for %v", ix.PiDim, parents)
+				}
+				full := c.Get(ds, []Var{{Attr: 0}, {Attr: 1}}, 2)
+				joint := full.CountChildren(ds, []Var{{Attr: 2}}, 2)[0]
+				pi := projectPiCounts(joint.P, 2, full.PiDim)
+				for i := range want.P {
+					if pi[i] != want.P[i] {
+						t.Errorf("Π cell %d: %g, want %g", i, pi[i], want.P[i])
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestParentConfigsOverflow checks the uint32 guard trips on absurd
+// configuration spaces instead of overflowing.
+func TestParentConfigsOverflow(t *testing.T) {
+	labels := make([]string, 1<<12)
+	for i := range labels {
+		labels[i] = fmt.Sprint(i)
+	}
+	attrs := []dataset.Attribute{
+		dataset.NewCategorical("a", labels),
+		dataset.NewCategorical("b", labels),
+		dataset.NewCategorical("c", labels),
+	}
+	ds := dataset.New(attrs)
+	if _, ok := ParentConfigs(ds, []Var{{Attr: 0}, {Attr: 1}}); !ok {
+		t.Error("2^24 configurations should be accepted")
+	}
+	if _, ok := ParentConfigs(ds, []Var{{Attr: 0}, {Attr: 1}, {Attr: 2}}); ok {
+		t.Error("2^36 configurations must be rejected")
+	}
+}

@@ -1,0 +1,59 @@
+package marginal
+
+// Scratch-buffer pools for the counting hot path. Every parallel
+// materialization used to allocate fresh per-worker count scratch and
+// per-variable lookup tables; within one Fit those allocations recur
+// thousands of times with identical shapes, so they are pooled here.
+// Buffers handed out by getFloats are zeroed, which is what counting
+// scratch needs; getInts buffers are overwritten fully by their users.
+
+import "sync"
+
+var floatPool = sync.Pool{New: func() any { s := make([]float64, 0, 1024); return &s }}
+
+// getFloats returns a zeroed float64 scratch buffer of exactly n cells.
+// Too-small pooled buffers are dropped (not re-pooled), so the larger
+// replacement takes their slot when putFloats returns it.
+func getFloats(n int) []float64 {
+	p := floatPool.Get().(*[]float64)
+	s := *p
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	*p = s
+	return s
+}
+
+// putFloats returns a buffer obtained from getFloats to the pool.
+func putFloats(s []float64) {
+	if cap(s) == 0 {
+		return
+	}
+	floatPool.Put(&s)
+}
+
+var intPool = sync.Pool{New: func() any { s := make([]int, 0, 256); return &s }}
+
+// getInts returns an int scratch buffer of exactly n cells (not zeroed).
+func getInts(n int) []int {
+	p := intPool.Get().(*[]int)
+	s := *p
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	s = s[:n]
+	*p = s
+	return s
+}
+
+// putInts returns a buffer obtained from getInts to the pool.
+func putInts(s []int) {
+	if cap(s) == 0 {
+		return
+	}
+	intPool.Put(&s)
+}

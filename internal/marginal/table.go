@@ -107,6 +107,7 @@ func MaterializeCounts(ds *dataset.Dataset, vars []Var) *Table {
 func (t *Table) countInto(ds *dataset.Dataset, w float64) {
 	c := newCounter(t, ds)
 	c.countRange(0, ds.N(), w, t.P)
+	c.release()
 }
 
 // counter precomputes per-variable stride, column, and generalization
@@ -131,7 +132,7 @@ func newCounter(t *Table, ds *dataset.Dataset) *counter {
 		c.cols[i] = ds.Column(v.Attr)
 		if v.Level > 0 {
 			a := ds.Attr(v.Attr)
-			m := make([]int, a.Size())
+			m := getInts(a.Size())
 			for code := range m {
 				m[code] = a.Generalize(v.Level, code)
 			}
@@ -139,6 +140,17 @@ func newCounter(t *Table, ds *dataset.Dataset) *counter {
 		}
 	}
 	return c
+}
+
+// release returns the counter's pooled generalization lookups. The
+// counter must not be used afterwards.
+func (c *counter) release() {
+	for i, g := range c.gen {
+		if g != nil {
+			putInts(g)
+			c.gen[i] = nil
+		}
+	}
 }
 
 // countRange accumulates w per row of [lo, hi) into dst.
@@ -196,7 +208,7 @@ func MaterializeCountsP(ds *dataset.Dataset, vars []Var, parallelism int) *Table
 	scratch := make([][]float64, workers)
 	parallel.ForChunks(workers, n, materializeChunk, func(worker, lo, hi int) {
 		if scratch[worker] == nil {
-			scratch[worker] = make([]float64, len(t.P))
+			scratch[worker] = getFloats(len(t.P))
 		}
 		c.countRange(lo, hi, 1, scratch[worker])
 	})
@@ -207,7 +219,9 @@ func MaterializeCountsP(ds *dataset.Dataset, vars []Var, parallelism int) *Table
 		for i, v := range part {
 			t.P[i] += v
 		}
+		putFloats(part)
 	}
+	c.release()
 	return t
 }
 
@@ -302,7 +316,7 @@ func (t *Table) MarginalizeOnto(vars []Var) *Table {
 		size *= dims[i]
 	}
 	out := &Table{Vars: append([]Var(nil), vars...), Dims: dims, P: make([]float64, size)}
-	codes := make([]int, len(t.Dims))
+	codes := getInts(len(t.Dims))
 	for idx := range t.P {
 		codes = t.Codes(idx, codes)
 		o := 0
@@ -311,6 +325,7 @@ func (t *Table) MarginalizeOnto(vars []Var) *Table {
 		}
 		out.P[o] += t.P[idx]
 	}
+	putInts(codes)
 	return out
 }
 

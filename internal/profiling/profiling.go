@@ -1,0 +1,48 @@
+// Package profiling wires the -cpuprofile/-memprofile CLI flags to
+// runtime/pprof, shared by cmd/privbayes and cmd/experiments so
+// hot-path regressions are diagnosable in the field without code edits.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling when cpu is non-empty and returns a stop
+// function that flushes the CPU profile and, when mem is non-empty,
+// writes a heap profile (after a GC). Callers must invoke stop on every
+// exit path — including failures, which are exactly when profiles are
+// wanted — before os.Exit. errPrefix labels stderr diagnostics.
+func Start(cpu, mem, errPrefix string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpu != "" {
+		cpuFile, err = os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: memprofile: %v\n", errPrefix, err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: memprofile: %v\n", errPrefix, err)
+			}
+			f.Close()
+		}
+	}, nil
+}

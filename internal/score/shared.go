@@ -1,0 +1,214 @@
+package score
+
+// The shared-scan scoring engine. A greedy iteration of Algorithm 2
+// scores C(|V|,k)·(d−|V|) candidates that share only C(|V|,k) distinct
+// parent sets; the legacy path rescanned all n rows per candidate. Here
+// ScoreBatch groups the uncached candidates by canonical parent set,
+// pays one O(n·k) parent-configuration scan per group (reused across
+// greedy iterations through the scorer's IndexCache), and materializes
+// every child joint of the group in a single fused O(n) pass — cutting
+// per-iteration scoring from O(#cand·n·k) to O(#Π·n·k + #cand·n).
+//
+// The engine's outputs are bit-identical to the legacy per-candidate
+// path: joint counts merge exactly (integers), and marginal.Ladder
+// converts counts into the very float values the serial Materialize
+// accumulates, so MI, F and R see byte-equal inputs. That preserves both
+// PR 1 contracts — identical learned networks at every Parallelism
+// setting, including the Parallelism=1 legacy-serial contract — while
+// making the serial path itself several times faster.
+
+import (
+	"privbayes/internal/infotheory"
+	"privbayes/internal/marginal"
+	"privbayes/internal/parallel"
+)
+
+// batchWork is one distinct uncached pair in a batch: the child, the
+// canonical identity, and every output slot awaiting the value.
+type batchWork struct {
+	x       marginal.Var
+	canon   []marginal.Var // [sorted parents..., x]
+	key     uint64
+	outIdxs []int
+	val     float64
+}
+
+// batchGroup collects the works sharing one parent set. parents keeps
+// the first-seen order, which is the order the legacy memo would have
+// materialized with — part of the bit-identity contract.
+type batchGroup struct {
+	parents []marginal.Var
+	key     uint64 // hash of the canonical (sorted) parent set
+	canon   []marginal.Var
+	works   []*batchWork
+}
+
+// ScoreBatch evaluates every candidate pair through the shared-scan
+// engine and returns the results in input order. Values are bit-identical
+// to sequential Score calls at any parallelism — see the package note
+// above — and every result lands in the memo, so a batch also serves as
+// a parallel precompute for a scorer shared across runs. Parallelism
+// fans out over parent-set groups, and over row chunks within a group
+// when there are fewer groups than workers (<= 0 selects GOMAXPROCS).
+func (s *Scorer) ScoreBatch(parallelism int, pairs []Pair) []float64 {
+	out := make([]float64, len(pairs))
+	if len(pairs) == 0 {
+		return out
+	}
+	if s.ds.N() == 0 {
+		// Degenerate dataset: the legacy path's uniform-table semantics.
+		for i, p := range pairs {
+			out[i] = s.Score(p.X, p.Parents)
+		}
+		return out
+	}
+
+	groups, works := s.planBatch(pairs, out)
+	if len(groups) > 0 {
+		workers := parallel.Workers(parallelism)
+		inner := workers / len(groups)
+		if inner < 1 {
+			inner = 1
+		}
+		parallel.For(workers, len(groups), func(gi int) {
+			s.scoreGroup(groups[gi], inner)
+		})
+
+		s.mu.Lock()
+		for _, w := range works {
+			s.memo.PutIfAbsent(w.key, w.canon, w.val)
+		}
+		s.mu.Unlock()
+		for _, w := range works {
+			for _, i := range w.outIdxs {
+				out[i] = w.val
+			}
+		}
+	}
+	return out
+}
+
+// planBatch resolves memo hits into out and partitions the remaining
+// distinct pairs into parent-set groups, preserving first-seen order for
+// groups and works so the whole plan is independent of parallelism.
+func (s *Scorer) planBatch(pairs []Pair, out []float64) ([]*batchGroup, []*batchWork) {
+	var groups []*batchGroup
+	var works []*batchWork
+	workByKey := make(map[uint64][]*batchWork)
+	groupByKey := make(map[uint64][]*batchGroup)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, p := range pairs {
+		canon := canonPair(p.X, p.Parents)
+		key := marginal.VarsKey(canon)
+		if v, ok := s.memo.Get(key, canon); ok {
+			out[i] = v
+			continue
+		}
+		var w *batchWork
+		for _, cand := range workByKey[key] {
+			if varsEq(cand.canon, canon) {
+				w = cand
+				break
+			}
+		}
+		if w != nil {
+			w.outIdxs = append(w.outIdxs, i)
+			continue
+		}
+		w = &batchWork{x: p.X, canon: canon, key: key, outIdxs: []int{i}}
+		workByKey[key] = append(workByKey[key], w)
+		works = append(works, w)
+
+		pcanon := canon[:len(canon)-1]
+		pkey := marginal.VarsKey(pcanon)
+		var g *batchGroup
+		for _, cand := range groupByKey[pkey] {
+			if varsEq(cand.canon, pcanon) {
+				g = cand
+				break
+			}
+		}
+		if g == nil {
+			g = &batchGroup{
+				parents: append([]marginal.Var(nil), p.Parents...),
+				key:     pkey,
+				canon:   pcanon,
+			}
+			groupByKey[pkey] = append(groupByKey[pkey], g)
+			groups = append(groups, g)
+		}
+		g.works = append(g.works, w)
+	}
+	return groups, works
+}
+
+// scoreGroup materializes every child joint of one parent-set group with
+// a single fused scan and evaluates the score function on each.
+func (s *Scorer) scoreGroup(g *batchGroup, parallelism int) {
+	if _, ok := marginal.ParentConfigs(s.ds, g.parents); !ok {
+		// Configuration space exceeds the uint32 code domain; fall back
+		// to the per-candidate path for this (pathological) group.
+		for _, w := range g.works {
+			w.val = s.compute(w.x, g.parents)
+		}
+		return
+	}
+	if s.Fn == F {
+		for _, v := range g.parents {
+			if v.Size(s.ds) != 2 {
+				panic("score: F requires binary parent attributes")
+			}
+		}
+		for _, w := range g.works {
+			if w.x.Size(s.ds) != 2 {
+				panic("score: F requires a binary child attribute")
+			}
+		}
+	}
+
+	ix := s.idx.Get(s.ds, g.parents, parallelism)
+	children := make([]marginal.Var, len(g.works))
+	for j, w := range g.works {
+		children[j] = w.x
+	}
+	joints := ix.CountChildren(s.ds, children, parallelism)
+
+	n := s.ds.N()
+	switch s.Fn {
+	case F:
+		for j, w := range g.works {
+			w.val = FScoreFromCounts(joints[j].P, n)
+		}
+	case MI:
+		lad := s.idx.Ladder(n)
+		for j, w := range g.works {
+			lad.Apply(joints[j])
+			w.val = infotheory.MutualInformationSplit(joints[j])
+		}
+	case R:
+		lad := s.idx.Ladder(n)
+		for j, w := range g.works {
+			lad.Apply(joints[j])
+			w.val = RScore(joints[j])
+		}
+	default:
+		panic("score: unknown function")
+	}
+}
+
+// Indexes exposes the scorer's parent-configuration index cache so later
+// pipeline stages (the noisy-conditional materialization in
+// internal/core) can reuse the indexes the final greedy iterations built.
+func (s *Scorer) Indexes() *marginal.IndexCache { return s.idx }
+
+// ParentEntropy returns H(Π) for a parent set, computed from the exact
+// parent-configuration counts and cached per parent set across children
+// and iterations (see marginal.ParentIndex.Entropy).
+func (s *Scorer) ParentEntropy(parents []marginal.Var) float64 {
+	if _, ok := marginal.ParentConfigs(s.ds, parents); !ok {
+		panic("score: parent set too large for configuration indexing")
+	}
+	return s.idx.Get(s.ds, parents, 1).Entropy()
+}

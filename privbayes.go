@@ -127,6 +127,12 @@ type Options struct {
 	// than 1, on any machine; 1 reproduces the pre-engine serial
 	// implementation byte for byte.
 	Parallelism int
+	// ScorerCacheSize bounds the score memo built during Fit: at most
+	// this many scored (X, Π) pairs are retained, evicted least-recently
+	// used. <= 0 (the default) keeps the memo unbounded. Useful for
+	// long-running services fitting many models, where an unbounded memo
+	// would grow without limit; eviction never changes results.
+	ScorerCacheSize int
 	// Rand is the randomness source; required.
 	Rand *rand.Rand
 }
@@ -136,13 +142,14 @@ func (o Options) toCore(ds *Dataset) (core.Options, error) {
 		return core.Options{}, errors.New("privbayes: Options.Rand is required")
 	}
 	opt := core.Options{
-		Epsilon:     o.Epsilon,
-		Beta:        o.Beta,
-		Theta:       o.Theta,
-		K:           -1,
-		Consistency: o.Consistency,
-		Parallelism: o.Parallelism,
-		Rand:        o.Rand,
+		Epsilon:         o.Epsilon,
+		Beta:            o.Beta,
+		Theta:           o.Theta,
+		K:               -1,
+		Consistency:     o.Consistency,
+		Parallelism:     o.Parallelism,
+		ScorerCacheSize: o.ScorerCacheSize,
+		Rand:            o.Rand,
 	}
 	if opt.Beta == 0 {
 		opt.Beta = 0.3
