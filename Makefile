@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json lint cover fmt
+.PHONY: all build test race bench bench-json serve lint cover fmt
 
 all: build test
 
@@ -24,11 +24,13 @@ race:
 bench:
 	$(GO) test -run NONE -bench . -benchtime 1x ./...
 
-# Timed shared-scan scoring benchmarks, captured machine-readably: runs
+# Timed benchmarks, captured machine-readably. Scoring: runs
 # BenchmarkScoreBatchShared vs BenchmarkScoreBatchLegacy over the
 # (d, k) grid and writes per-benchmark ns/op plus shared-vs-legacy
-# speedups to BENCH_scoring.json.
-# The bench run lands in a temp file first so a benchmark failure fails
+# speedups to BENCH_scoring.json. Serving: runs BenchmarkServeSynthesize
+# (end-to-end HTTP streaming synthesis at n∈{1e4,1e5} × parallelism) and
+# writes rows/s per configuration to BENCH_serving.json.
+# Each bench run lands in a temp file first so a benchmark failure fails
 # the target instead of being masked by the pipe into the converter.
 bench-json:
 	$(GO) test -run NONE -bench 'BenchmarkScoreBatch(Shared|Legacy)$$' \
@@ -36,6 +38,18 @@ bench-json:
 	$(GO) run ./cmd/benchjson < bench_scoring.out > BENCH_scoring.json
 	@rm -f bench_scoring.out
 	@cat BENCH_scoring.json
+	$(GO) test -run NONE -bench 'BenchmarkServeSynthesize' \
+		-benchtime 1s ./internal/server > bench_serving.out
+	$(GO) run ./cmd/benchjson < bench_serving.out > BENCH_serving.json
+	@rm -f bench_serving.out
+	@cat BENCH_serving.json
+
+# Run the synthesis-serving daemon locally: loads models from ./models,
+# meters curator fits in ./models/ledger.json.
+serve:
+	@mkdir -p models
+	$(GO) run ./cmd/privbayesd -addr :8131 -models-dir models \
+		-ledger models/ledger.json
 
 lint:
 	$(GO) vet ./...

@@ -19,6 +19,8 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"privbayes/internal/cliutil"
 )
 
 // Benchmark is one parsed result line.
@@ -40,6 +42,7 @@ type Report struct {
 }
 
 func main() {
+	cliutil.Parse("benchjson", "convert `go test -bench` output on stdin to machine-readable JSON")
 	rep, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)

@@ -18,6 +18,7 @@ import (
 	"strings"
 	"time"
 
+	"privbayes/internal/cliutil"
 	"privbayes/internal/experiment"
 	"privbayes/internal/profiling"
 )
@@ -37,7 +38,7 @@ func main() {
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
-	flag.Parse()
+	cliutil.Parse("experiments", "regenerate the paper's evaluation figures and tables")
 
 	if *listOnly {
 		for _, id := range experiment.Figures() {

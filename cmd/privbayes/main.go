@@ -24,6 +24,7 @@ import (
 	"strconv"
 
 	"privbayes"
+	"privbayes/internal/cliutil"
 	"privbayes/internal/profiling"
 )
 
@@ -41,7 +42,7 @@ func main() {
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
-	flag.Parse()
+	cliutil.Parse("privbayes", "synthesize a differentially private copy of a CSV dataset")
 	if *in == "" || *out == "" {
 		fmt.Fprintln(os.Stderr, "privbayes: -in and -out are required")
 		os.Exit(2)

@@ -1,0 +1,96 @@
+// Command privbayesd is the PrivBayes synthesis-serving daemon: it
+// hosts a registry of fitted models (loaded from -models-dir and via
+// uploads), streams synthetic data and answers marginal queries from
+// them, and — in curator mode — fits new models from CSV uploads under
+// a persistent per-dataset privacy-budget ledger.
+//
+// Usage:
+//
+//	privbayesd -addr :8131 -models-dir models -ledger models/ledger.json
+//
+// Then:
+//
+//	curl localhost:8131/models
+//	curl 'localhost:8131/models/adult-v1/synthesize?n=100000&seed=7' > syn.csv
+//	curl -X POST localhost:8131/models/adult-v1/marginal \
+//	     -d '{"attrs":["age","income"]}'
+//
+// The daemon prints "listening on <addr>" once the socket is bound, so
+// -addr 127.0.0.1:0 works for tests and local experiments.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"privbayes/internal/accountant"
+	"privbayes/internal/cliutil"
+	"privbayes/internal/server"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8131", "listen address (host:port; port 0 picks a free port)")
+		modelsDir = flag.String("models-dir", "models", "directory of model artifacts loaded at startup and receiving new fits/uploads")
+		ledger    = flag.String("ledger", "", "privacy-budget ledger file for curator mode (empty = in-memory ledger)")
+		budget    = flag.Float64("budget", 2.0, "default per-dataset ε budget for curator-mode fits")
+		workers   = flag.Int("max-workers", 0, "server-wide sampling/fitting worker budget (0 = all cores)")
+		reqPar    = flag.Int("max-request-parallelism", 0, "max workers one request may claim (0 = whole budget)")
+		maxRows   = flag.Int("max-rows", server.DefaultMaxSynthesisRows, "max synthetic rows per request")
+		maxMB     = flag.Int64("max-upload-mb", 256, "max upload size (model artifacts and fit CSVs), in MiB")
+	)
+	cliutil.Parse("privbayesd", "serve synthesis, inference and budget-metered fitting of PrivBayes models over HTTP")
+	if err := run(*addr, *modelsDir, *ledger, *budget, *workers, *reqPar, *maxRows, *maxMB); err != nil {
+		fmt.Fprintln(os.Stderr, "privbayesd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, modelsDir, ledgerPath string, budget float64, workers, reqPar, maxRows int, maxMB int64) error {
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "privbayesd: "+format+"\n", args...)
+	}
+	var ledger *accountant.Ledger
+	var err error
+	if ledgerPath != "" {
+		if ledger, err = accountant.Open(ledgerPath, budget); err != nil {
+			return err
+		}
+	} else {
+		ledger = accountant.New(budget)
+		logf("no -ledger file: privacy budgets reset on restart")
+	}
+	srv, err := server.New(server.Config{
+		ModelsDir:             modelsDir,
+		Ledger:                ledger,
+		MaxWorkers:            workers,
+		MaxRequestParallelism: reqPar,
+		MaxSynthesisRows:      maxRows,
+		MaxUploadBytes:        maxMB << 20,
+		Logf:                  logf,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	// Announced after the bind so callers using port 0 can scrape the
+	// resolved address (the e2e test and `make serve` both rely on it).
+	logf("listening on %s (%d model(s) registered)", ln.Addr(), srv.Registry().Len())
+	hs := &http.Server{
+		Handler: srv,
+		// Header and idle timeouts bound slow-loris and abandoned
+		// keep-alive connections. No overall read/write timeout: fit
+		// uploads and synthesis streams are legitimately long-lived,
+		// and the worker budget already guards the compute path.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	return hs.Serve(ln)
+}

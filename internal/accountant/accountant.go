@@ -1,0 +1,290 @@
+// Package accountant tracks cumulative differential-privacy spending
+// per dataset across fits. Where internal/dp's Accountant budgets one
+// PrivBayes run (ε = ε₁ + ε₂ inside a single Fit), this ledger budgets
+// a *dataset* across its lifetime: every model the curator fits against
+// dataset D composes sequentially, so the serving daemon must refuse a
+// fit whose ε would push D's cumulative spend past its budget. The
+// ledger persists as JSON so restarts — and multiple daemon runs over
+// the same data directory — cannot silently reset the budget.
+package accountant
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// ErrBudgetExceeded tags every charge rejected by a ledger; match with
+// errors.Is. The concrete error is a *BudgetError carrying the numbers.
+var ErrBudgetExceeded = errors.New("accountant: privacy budget exceeded")
+
+// ErrPersist tags failures to make a ledger mutation durable (disk
+// full, permissions). These are server-side faults, not caller errors.
+var ErrPersist = errors.New("accountant: ledger persistence failed")
+
+// BudgetError reports a rejected charge.
+type BudgetError struct {
+	Dataset   string
+	Requested float64
+	Spent     float64
+	Budget    float64
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("accountant: dataset %q: spending ε=%g would exceed budget (spent %g of %g)",
+		e.Dataset, e.Requested, e.Spent, e.Budget)
+}
+
+// Is makes errors.Is(err, ErrBudgetExceeded) match.
+func (e *BudgetError) Is(target error) bool { return target == ErrBudgetExceeded }
+
+// Entry is one dataset's standing in the ledger.
+type Entry struct {
+	// Spent is the cumulative ε of every fit acknowledged so far.
+	Spent float64 `json:"spent"`
+	// Budget is the dataset's total ε allowance.
+	Budget float64 `json:"budget"`
+}
+
+// Remaining returns the unused budget, never negative.
+func (e Entry) Remaining() float64 {
+	if r := e.Budget - e.Spent; r > 0 {
+		return r
+	}
+	return 0
+}
+
+// ledgerVersion guards the persisted format.
+const ledgerVersion = 1
+
+// ledgerJSON is the on-disk document.
+type ledgerJSON struct {
+	Version       int              `json:"version"`
+	DefaultBudget float64          `json:"default_budget"`
+	Datasets      map[string]Entry `json:"datasets"`
+}
+
+// Ledger is a concurrency-safe sequential-composition ledger of ε per
+// dataset id. All mutations are serialized and — when the ledger is
+// file-backed — durably persisted before they are acknowledged, so a
+// crash can lose an unacknowledged charge (conservative: the budget is
+// never under-counted) but never an acknowledged one.
+type Ledger struct {
+	mu            sync.Mutex
+	path          string // "" = in-memory only
+	defaultBudget float64
+	datasets      map[string]Entry
+}
+
+// New creates an in-memory ledger. Datasets not configured via
+// SetBudget get defaultBudget, which must be positive.
+func New(defaultBudget float64) *Ledger {
+	if !(defaultBudget > 0) {
+		panic(fmt.Sprintf("accountant: default budget must be positive, got %g", defaultBudget))
+	}
+	return &Ledger{defaultBudget: defaultBudget, datasets: map[string]Entry{}}
+}
+
+// Open creates a file-backed ledger at path, loading existing state if
+// the file exists. The file's recorded per-dataset budgets win over
+// defaultBudget; defaultBudget applies to datasets first seen later.
+func Open(path string, defaultBudget float64) (*Ledger, error) {
+	if !(defaultBudget > 0) {
+		return nil, fmt.Errorf("accountant: default budget must be positive, got %g", defaultBudget)
+	}
+	l := &Ledger{path: path, defaultBudget: defaultBudget, datasets: map[string]Entry{}}
+	raw, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return l, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("accountant: read ledger: %w", err)
+	}
+	// DisallowUnknownFields makes a clobbered ledger fail closed: if
+	// some other JSON document (say, a persisted model artifact) lands
+	// on this path, refusing to start beats silently loading an empty
+	// ledger and erasing every recorded ε spend.
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	var doc ledgerJSON
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("accountant: parse ledger %s: %w", path, err)
+	}
+	if doc.Version != ledgerVersion {
+		return nil, fmt.Errorf("accountant: ledger %s has unsupported version %d", path, doc.Version)
+	}
+	for id, e := range doc.Datasets {
+		if e.Spent < 0 || !(e.Budget > 0) || math.IsNaN(e.Spent) {
+			return nil, fmt.Errorf("accountant: ledger %s: dataset %q has invalid entry (spent %g, budget %g)", path, id, e.Spent, e.Budget)
+		}
+		l.datasets[id] = e
+	}
+	return l, nil
+}
+
+// entryLocked returns the dataset's entry, materializing the default
+// budget for first contact. Callers hold l.mu.
+func (l *Ledger) entryLocked(dataset string) Entry {
+	if e, ok := l.datasets[dataset]; ok {
+		return e
+	}
+	return Entry{Budget: l.defaultBudget}
+}
+
+// chargeTol absorbs floating-point dust when a budget is consumed in
+// many equal shares (matches internal/dp's Accountant tolerance).
+const chargeTol = 1e-9
+
+// Charge atomically spends eps from the dataset's budget: the check,
+// the ledger update, and the persistence to disk happen under one lock,
+// so concurrent fits racing on one dataset can never jointly overspend.
+// A rejected charge leaves the ledger untouched and returns a
+// *BudgetError matching ErrBudgetExceeded.
+func (l *Ledger) Charge(dataset string, eps float64) error {
+	if dataset == "" {
+		return errors.New("accountant: empty dataset id")
+	}
+	if !(eps > 0) || math.IsInf(eps, 1) {
+		return fmt.Errorf("accountant: charge must be positive and finite, got %g", eps)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e := l.entryLocked(dataset)
+	if e.Spent+eps > e.Budget*(1+chargeTol) {
+		return &BudgetError{Dataset: dataset, Requested: eps, Spent: e.Spent, Budget: e.Budget}
+	}
+	e.Spent += eps
+	l.datasets[dataset] = e
+	if err := l.persistLocked(); err != nil {
+		// Roll back: a charge that cannot be made durable is not
+		// acknowledged, so the caller must not release the fit.
+		e.Spent -= eps
+		l.datasets[dataset] = e
+		return err
+	}
+	return nil
+}
+
+// Refund returns eps to the dataset after a fit that failed before
+// releasing anything observable (sequential composition only charges
+// for released outputs). Refunding more than was spent clamps to zero.
+func (l *Ledger) Refund(dataset string, eps float64) error {
+	if !(eps > 0) || math.IsInf(eps, 1) {
+		return fmt.Errorf("accountant: refund must be positive and finite, got %g", eps)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e, ok := l.datasets[dataset]
+	if !ok {
+		return nil
+	}
+	prev := e.Spent
+	e.Spent -= eps
+	if e.Spent < 0 {
+		e.Spent = 0
+	}
+	l.datasets[dataset] = e
+	if err := l.persistLocked(); err != nil {
+		e.Spent = prev
+		l.datasets[dataset] = e
+		return err
+	}
+	return nil
+}
+
+// SetBudget configures a dataset's total allowance, keeping any spend
+// already recorded. Lowering the budget below the recorded spend is
+// allowed — further charges simply fail.
+func (l *Ledger) SetBudget(dataset string, budget float64) error {
+	if dataset == "" {
+		return errors.New("accountant: empty dataset id")
+	}
+	if !(budget > 0) || math.IsInf(budget, 1) {
+		return fmt.Errorf("accountant: budget must be positive and finite, got %g", budget)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e := l.entryLocked(dataset)
+	prev, had := l.datasets[dataset]
+	e.Budget = budget
+	l.datasets[dataset] = e
+	if err := l.persistLocked(); err != nil {
+		if had {
+			l.datasets[dataset] = prev
+		} else {
+			delete(l.datasets, dataset)
+		}
+		return err
+	}
+	return nil
+}
+
+// Get returns the dataset's standing; unseen datasets report zero spend
+// against the default budget.
+func (l *Ledger) Get(dataset string) Entry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.entryLocked(dataset)
+}
+
+// Snapshot returns a copy of every recorded dataset entry.
+func (l *Ledger) Snapshot() map[string]Entry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[string]Entry, len(l.datasets))
+	for id, e := range l.datasets {
+		out[id] = e
+	}
+	return out
+}
+
+// Datasets returns the recorded dataset ids in sorted order.
+func (l *Ledger) Datasets() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ids := make([]string, 0, len(l.datasets))
+	for id := range l.datasets {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Path returns the backing file, or "" for an in-memory ledger. Serving
+// layers use it to keep other writers (model persistence) off the file.
+func (l *Ledger) Path() string { return l.path }
+
+// persistLocked writes the ledger durably (temp file + rename) when
+// file-backed. Callers hold l.mu. Failures wrap ErrPersist.
+func (l *Ledger) persistLocked() error {
+	if l.path == "" {
+		return nil
+	}
+	doc := ledgerJSON{Version: ledgerVersion, DefaultBudget: l.defaultBudget, Datasets: l.datasets}
+	raw, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return fmt.Errorf("%w: encode: %v", ErrPersist, err)
+	}
+	dir := filepath.Dir(l.path)
+	tmp, err := os.CreateTemp(dir, ".ledger-*.json")
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrPersist, err)
+	}
+	_, werr := tmp.Write(append(raw, '\n'))
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("%w: write %v, close %v", ErrPersist, werr, cerr)
+	}
+	if err := os.Rename(tmp.Name(), l.path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("%w: %v", ErrPersist, err)
+	}
+	return nil
+}

@@ -1,0 +1,33 @@
+// Package cliutil gives the repo's binaries one consistent command-line
+// surface: a shared -version flag, a uniform -help header, and a single
+// place where the tool version lives. Every cmd/ main calls
+// cliutil.Parse instead of flag.Parse.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+// Version is the toolchain-wide version stamp reported by every binary.
+const Version = "0.3.0"
+
+// Parse registers the shared -version flag, installs a uniform usage
+// header ("name — synopsis" followed by the binary's flag defaults),
+// and parses os.Args. It must be called after the binary's own flags
+// are registered, in place of flag.Parse. -version prints one line and
+// exits 0.
+func Parse(name, synopsis string) {
+	version := flag.Bool("version", false, "print version and exit")
+	flag.Usage = func() {
+		out := flag.CommandLine.Output()
+		fmt.Fprintf(out, "%s — %s\n\nUsage: %s [flags]\n\nFlags:\n", name, synopsis, name)
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *version {
+		fmt.Printf("%s %s (privbayes)\n", name, Version)
+		os.Exit(0)
+	}
+}

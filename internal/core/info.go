@@ -1,0 +1,67 @@
+package core
+
+import "fmt"
+
+// ModelInfo is a serializable summary of a fitted model — the metadata
+// a registry or inspection endpoint exposes without shipping the
+// conditional tables themselves. Everything here is derived from the
+// ε-DP release, so surfacing it costs no additional privacy.
+type ModelInfo struct {
+	// Attrs is the model's schema, one entry per attribute.
+	Attrs []AttrInfo `json:"attrs"`
+	// Network lists the AP pairs in topological (sampling) order.
+	Network []PairInfo `json:"network"`
+	// Degree is the maximum parent-set size (the paper's k).
+	Degree int `json:"degree"`
+	// Score names the score function that selected the network (I/F/R).
+	Score string `json:"score"`
+	// Cells is the total size of the conditional tables — the model's
+	// in-memory footprint in float64 cells.
+	Cells int `json:"cells"`
+}
+
+// AttrInfo summarizes one schema attribute.
+type AttrInfo struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+	// Size is the raw (level-0) domain size.
+	Size int `json:"size"`
+	// Levels is the number of generalization levels, including raw.
+	Levels int `json:"levels"`
+}
+
+// PairInfo renders one AP pair by attribute name; generalized parents
+// carry an "@L<level>" suffix.
+type PairInfo struct {
+	Child   string   `json:"child"`
+	Parents []string `json:"parents"`
+}
+
+// Info summarizes the model for registries and inspection endpoints.
+func (m *Model) Info() ModelInfo {
+	info := ModelInfo{
+		Attrs:   make([]AttrInfo, len(m.Attrs)),
+		Network: make([]PairInfo, len(m.Network.Pairs)),
+		Degree:  m.Network.Degree(),
+		Score:   m.Score.String(),
+	}
+	for i := range m.Attrs {
+		a := &m.Attrs[i]
+		info.Attrs[i] = AttrInfo{Name: a.Name, Kind: a.Kind.String(), Size: a.Size(), Levels: a.Height()}
+	}
+	for i, p := range m.Network.Pairs {
+		pi := PairInfo{Child: m.Attrs[p.X.Attr].Name, Parents: make([]string, len(p.Parents))}
+		for j, par := range p.Parents {
+			name := m.Attrs[par.Attr].Name
+			if par.Level > 0 {
+				name = fmt.Sprintf("%s@L%d", name, par.Level)
+			}
+			pi.Parents[j] = name
+		}
+		info.Network[i] = pi
+	}
+	for _, c := range m.Conds {
+		info.Cells += len(c.P)
+	}
+	return info
+}

@@ -2,8 +2,13 @@ package core
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math"
+
+	"privbayes/internal/dataset"
+	"privbayes/internal/score"
 )
 
 // modelJSON is the on-disk representation of a fitted model. Only the
@@ -15,8 +20,47 @@ type modelJSON struct {
 	Epsilon float64 `json:"epsilon,omitempty"`
 }
 
+// modelDoc is the read-side counterpart: Version is a pointer so a
+// document that omits the format-version field entirely is
+// distinguishable from version 0 and rejected explicitly.
+type modelDoc struct {
+	Version *int    `json:"version"`
+	Model   *Model  `json:"model"`
+	Epsilon float64 `json:"epsilon,omitempty"`
+}
+
 // modelVersion guards the serialization format.
 const modelVersion = 1
+
+// ErrInvalidModel tags every rejection of a persisted-model artifact —
+// malformed JSON, missing or unsupported format version, or structural
+// validation failure. Model documents now arrive over the network
+// (privbayesd's POST /models), so callers branch on errors.Is(err,
+// ErrInvalidModel) to map bad input to a client error rather than a
+// server fault.
+var ErrInvalidModel = errors.New("invalid model artifact")
+
+func invalidModelf(format string, args ...any) error {
+	return fmt.Errorf("core: %w: %s", ErrInvalidModel, fmt.Sprintf(format, args...))
+}
+
+// Adversarial-input bounds. A syntactically valid document can still
+// describe a model whose materialization would exhaust memory or whose
+// codes overflow the dataset layer's uint16 encoding; both are rejected
+// up front.
+const (
+	// maxModelAttrs caps the attribute count of a loaded model.
+	maxModelAttrs = 1 << 12
+	// maxAttrDomain mirrors the dataset layer's uint16 code space.
+	maxAttrDomain = 1 << 16
+	// maxModelCells caps the summed conditional-table size (~0.5 GiB of
+	// float64) of a loaded model.
+	maxModelCells = 1 << 26
+	// probSumTol is the per-block tolerance for Σ Pr[X|Π=π] = 1;
+	// ConditionalFromJoint normalizes exactly, so a round-tripped block
+	// is off by float summation error only.
+	probSumTol = 1e-6
+)
 
 // WriteJSON persists the model. The optional epsilon records the budget
 // the model was fitted under, purely as metadata for downstream users.
@@ -25,42 +69,168 @@ func (m *Model) WriteJSON(w io.Writer, epsilon float64) error {
 	return enc.Encode(modelJSON{Version: modelVersion, Model: m, Epsilon: epsilon})
 }
 
-// ReadModelJSON loads a model persisted by WriteJSON and revalidates its
-// structural invariants before returning it.
+// ReadModelJSON loads a model persisted by WriteJSON, fully revalidating
+// it before returning: the format version must be present and supported,
+// and the model must pass Validate. Every rejection wraps
+// ErrInvalidModel; a malformed document never panics.
 func ReadModelJSON(r io.Reader) (*Model, float64, error) {
-	var in modelJSON
+	var in modelDoc
 	if err := json.NewDecoder(r).Decode(&in); err != nil {
-		return nil, 0, fmt.Errorf("core: decode model: %w", err)
+		// The read error stays in the chain (%w) so transport-level
+		// causes — e.g. http.MaxBytesError from a capped upload — remain
+		// matchable by callers alongside ErrInvalidModel.
+		return nil, 0, fmt.Errorf("core: %w: decode: %w", ErrInvalidModel, err)
 	}
-	if in.Version != modelVersion {
-		return nil, 0, fmt.Errorf("core: unsupported model version %d", in.Version)
+	if in.Version == nil {
+		return nil, 0, invalidModelf("missing format version")
+	}
+	if *in.Version != modelVersion {
+		return nil, 0, invalidModelf("unsupported format version %d (want %d)", *in.Version, modelVersion)
 	}
 	m := in.Model
 	if m == nil {
-		return nil, 0, fmt.Errorf("core: empty model document")
+		return nil, 0, invalidModelf("empty model document")
 	}
-	if err := m.Network.Validate(len(m.Attrs)); err != nil {
-		return nil, 0, fmt.Errorf("core: persisted network invalid: %w", err)
-	}
-	if len(m.Conds) != len(m.Network.Pairs) {
-		return nil, 0, fmt.Errorf("core: %d conditionals for %d pairs", len(m.Conds), len(m.Network.Pairs))
-	}
-	for i, c := range m.Conds {
-		pair := m.Network.Pairs[i]
-		if c.X != pair.X {
-			return nil, 0, fmt.Errorf("core: conditional %d is for %v, pair expects %v", i, c.X, pair.X)
-		}
-		want := m.Attrs[pair.X.Attr].Size()
-		if c.XDim != want {
-			return nil, 0, fmt.Errorf("core: conditional %d has XDim %d, attribute domain is %d", i, c.XDim, want)
-		}
-		blocks := 1
-		for _, d := range c.PDims {
-			blocks *= d
-		}
-		if blocks*c.XDim != len(c.P) {
-			return nil, 0, fmt.Errorf("core: conditional %d has %d cells, want %d", i, len(c.P), blocks*c.XDim)
-		}
+	if err := m.Validate(); err != nil {
+		return nil, 0, err
 	}
 	return m, in.Epsilon, nil
+}
+
+// Validate checks every structural invariant a fitted model relies on
+// at sampling and inference time: schema sanity, network shape, and
+// conditional-table dimensions and probability vectors. It exists so
+// models loaded from untrusted input (network uploads) fail with a
+// typed error here instead of panicking deep inside the sampler. Every
+// failure wraps ErrInvalidModel.
+func (m *Model) Validate() error {
+	d := len(m.Attrs)
+	if d == 0 {
+		return invalidModelf("model has no attributes")
+	}
+	if d > maxModelAttrs {
+		return invalidModelf("model has %d attributes, limit %d", d, maxModelAttrs)
+	}
+	for i := range m.Attrs {
+		if err := validateAttr(&m.Attrs[i]); err != nil {
+			return fmt.Errorf("%w (attribute %d)", err, i)
+		}
+	}
+	if m.K < -1 || m.K >= d {
+		return invalidModelf("degree K=%d out of range [-1, %d)", m.K, d)
+	}
+	switch m.Score {
+	case score.MI, score.F, score.R:
+	default:
+		return invalidModelf("unknown score function %d", int(m.Score))
+	}
+
+	// Network shape: bounds first — Network.Validate assumes in-range
+	// attribute indices — then the DAG invariants.
+	for i, p := range m.Network.Pairs {
+		if p.X.Attr < 0 || p.X.Attr >= d {
+			return invalidModelf("pair %d: child attribute %d out of range [0, %d)", i, p.X.Attr, d)
+		}
+		for _, par := range p.Parents {
+			if par.Attr < 0 || par.Attr >= d {
+				return invalidModelf("pair %d: parent attribute %d out of range [0, %d)", i, par.Attr, d)
+			}
+			if par.Level < 0 || par.Level >= m.Attrs[par.Attr].Height() {
+				return invalidModelf("pair %d: parent %d level %d out of range [0, %d)",
+					i, par.Attr, par.Level, m.Attrs[par.Attr].Height())
+			}
+		}
+	}
+	if err := m.Network.Validate(d); err != nil {
+		return invalidModelf("%v", err)
+	}
+
+	// Conditionals: one per pair, dimensioned by the schema, with valid
+	// probability vectors.
+	if len(m.Conds) != len(m.Network.Pairs) {
+		return invalidModelf("%d conditionals for %d pairs", len(m.Conds), len(m.Network.Pairs))
+	}
+	totalCells := 0
+	for i, c := range m.Conds {
+		if c == nil {
+			return invalidModelf("conditional %d is null", i)
+		}
+		pair := m.Network.Pairs[i]
+		if c.X != pair.X {
+			return invalidModelf("conditional %d is for %v, pair expects %v", i, c.X, pair.X)
+		}
+		if len(c.Parents) != len(pair.Parents) {
+			return invalidModelf("conditional %d has %d parents, pair has %d", i, len(c.Parents), len(pair.Parents))
+		}
+		for j, par := range c.Parents {
+			if par != pair.Parents[j] {
+				return invalidModelf("conditional %d parent %d is %v, pair expects %v", i, j, par, pair.Parents[j])
+			}
+		}
+		if want := m.Attrs[pair.X.Attr].Size(); c.XDim != want {
+			return invalidModelf("conditional %d has XDim %d, attribute domain is %d", i, c.XDim, want)
+		}
+		if len(c.PDims) != len(pair.Parents) {
+			return invalidModelf("conditional %d has %d parent dims for %d parents", i, len(c.PDims), len(pair.Parents))
+		}
+		blocks := 1
+		for j, dim := range c.PDims {
+			par := pair.Parents[j]
+			if want := m.Attrs[par.Attr].SizeAt(par.Level); dim != want {
+				return invalidModelf("conditional %d parent dim %d is %d, schema says %d", i, j, dim, want)
+			}
+			blocks *= dim
+			if blocks > maxModelCells {
+				return invalidModelf("conditional %d exceeds %d cells", i, maxModelCells)
+			}
+		}
+		if blocks*c.XDim != len(c.P) {
+			return invalidModelf("conditional %d has %d cells, want %d", i, len(c.P), blocks*c.XDim)
+		}
+		totalCells += len(c.P)
+		if totalCells > maxModelCells {
+			return invalidModelf("model exceeds %d total conditional cells", maxModelCells)
+		}
+		for off := 0; off < len(c.P); off += c.XDim {
+			var sum float64
+			for _, p := range c.P[off : off+c.XDim] {
+				if math.IsNaN(p) || math.IsInf(p, 0) || p < 0 {
+					return invalidModelf("conditional %d has invalid probability %v", i, p)
+				}
+				sum += p
+			}
+			if math.Abs(sum-1) > probSumTol {
+				return invalidModelf("conditional %d block at %d sums to %v, want 1", i, off, sum)
+			}
+		}
+	}
+	return nil
+}
+
+// validateAttr checks one schema entry of a loaded model.
+func validateAttr(a *dataset.Attribute) error {
+	if a.Name == "" {
+		return invalidModelf("attribute has empty name")
+	}
+	switch a.Kind {
+	case dataset.Categorical, dataset.Continuous:
+	default:
+		return invalidModelf("attribute %s has unknown kind %d", a.Name, int(a.Kind))
+	}
+	n := a.Size()
+	if n < 1 {
+		return invalidModelf("attribute %s has empty domain", a.Name)
+	}
+	if n > maxAttrDomain {
+		return invalidModelf("attribute %s domain size %d exceeds %d", a.Name, n, maxAttrDomain)
+	}
+	if a.Kind == dataset.Continuous {
+		if math.IsNaN(a.Min) || math.IsNaN(a.Max) || math.IsInf(a.Min, 0) || math.IsInf(a.Max, 0) || a.Min >= a.Max {
+			return invalidModelf("attribute %s has invalid range [%g, %g]", a.Name, a.Min, a.Max)
+		}
+	}
+	if h := a.Hierarchy; h != nil && h.SizeAt(0) != n {
+		return invalidModelf("attribute %s hierarchy covers %d codes, domain has %d", a.Name, h.SizeAt(0), n)
+	}
+	return nil
 }

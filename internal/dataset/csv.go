@@ -4,22 +4,30 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 )
 
-// WriteCSV writes the dataset with a header row, decoding each code back
-// to its label (categorical) or bin center (continuous).
-func (d *Dataset) WriteCSV(w io.Writer) error {
-	cw := csv.NewWriter(w)
+// CSVHeader returns the header row for the dataset's schema.
+func (d *Dataset) CSVHeader() []string {
 	header := make([]string, d.D())
 	for i := range header {
 		header[i] = d.attrs[i].Name
 	}
-	if err := cw.Write(header); err != nil {
-		return fmt.Errorf("dataset: write header: %w", err)
+	return header
+}
+
+// WriteCSVRows writes rows [lo, hi) — no header — through cw, decoding
+// each code back to its label (categorical) or bin center (continuous).
+// It is the streaming building block of WriteCSV: the synthesis server
+// emits a large response as a sequence of small chunk datasets, writing
+// each chunk's rows through one long-lived csv.Writer.
+func (d *Dataset) WriteCSVRows(cw *csv.Writer, lo, hi int) error {
+	if lo < 0 || hi > d.n || lo > hi {
+		return fmt.Errorf("dataset: row range [%d, %d) outside [0, %d)", lo, hi, d.n)
 	}
 	rec := make([]string, d.D())
-	for r := 0; r < d.n; r++ {
+	for r := lo; r < hi; r++ {
 		for c := 0; c < d.D(); c++ {
 			a := &d.attrs[c]
 			code := d.Value(r, c)
@@ -30,8 +38,21 @@ func (d *Dataset) WriteCSV(w io.Writer) error {
 			}
 		}
 		if err := cw.Write(rec); err != nil {
-			return fmt.Errorf("dataset: write row %d: %w", r, err)
+			return fmt.Errorf("dataset: write row %d: %w", r+1, err)
 		}
+	}
+	return nil
+}
+
+// WriteCSV writes the dataset with a header row, decoding each code back
+// to its label (categorical) or bin center (continuous).
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(d.CSVHeader()); err != nil {
+		return fmt.Errorf("dataset: write header: %w", err)
+	}
+	if err := d.WriteCSVRows(cw, 0, d.n); err != nil {
+		return err
 	}
 	cw.Flush()
 	return cw.Error()
@@ -39,9 +60,17 @@ func (d *Dataset) WriteCSV(w io.Writer) error {
 
 // ReadCSV reads records that match the given schema from CSV with a
 // header row. Categorical cells must be known labels; continuous cells
-// are parsed as floats and binned.
+// are parsed as finite floats and binned.
+//
+// Rows are decoded one at a time straight off the reader — the whole
+// file is never held in memory beyond the 2-bytes-per-cell encoded
+// dataset — so it is safe to point at a large upload stream. Errors
+// report the 1-based data row and column of the offending cell.
 func ReadCSV(r io.Reader, attrs []Attribute) (*Dataset, error) {
 	cr := csv.NewReader(r)
+	// Rows are encoded immediately, so the csv.Reader may reuse its
+	// record buffer between rows instead of allocating per row.
+	cr.ReuseRecord = true
 	header, err := cr.Read()
 	if err != nil {
 		return nil, fmt.Errorf("dataset: read header: %w", err)
@@ -51,38 +80,43 @@ func ReadCSV(r io.Reader, attrs []Attribute) (*Dataset, error) {
 	}
 	for i, h := range header {
 		if h != attrs[i].Name {
-			return nil, fmt.Errorf("dataset: column %d is %q, schema expects %q", i, h, attrs[i].Name)
+			return nil, fmt.Errorf("dataset: column %d is %q, schema expects %q", i+1, h, attrs[i].Name)
 		}
 	}
 	d := New(attrs)
 	rec := make([]uint16, len(attrs))
-	row := 0
+	row := 0 // 1-based data row (header excluded) once inside the loop
 	for {
 		cells, err := cr.Read()
 		if err == io.EOF {
 			break
 		}
+		row++
 		if err != nil {
-			return nil, fmt.Errorf("dataset: read row %d: %w", row, err)
+			// csv.ParseError already carries the file line; add the
+			// data-row number, which is what schema-level callers count.
+			return nil, fmt.Errorf("dataset: row %d: %w", row, err)
 		}
 		for c, cell := range cells {
 			a := &attrs[c]
 			if a.Kind == Continuous {
 				v, err := strconv.ParseFloat(cell, 64)
 				if err != nil {
-					return nil, fmt.Errorf("dataset: row %d, attribute %s: %w", row, a.Name, err)
+					return nil, fmt.Errorf("dataset: row %d, column %d (%s): %w", row, c+1, a.Name, err)
+				}
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					return nil, fmt.Errorf("dataset: row %d, column %d (%s): non-finite value %q", row, c+1, a.Name, cell)
 				}
 				rec[c] = uint16(a.Bin(v))
 			} else {
 				code := a.Code(cell)
 				if code < 0 {
-					return nil, fmt.Errorf("dataset: row %d, attribute %s: unknown label %q", row, a.Name, cell)
+					return nil, fmt.Errorf("dataset: row %d, column %d (%s): unknown label %q", row, c+1, a.Name, cell)
 				}
 				rec[c] = uint16(code)
 			}
 		}
 		d.Append(rec)
-		row++
 	}
 	return d, nil
 }

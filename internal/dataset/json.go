@@ -22,11 +22,20 @@ func (h *Hierarchy) MarshalJSON() ([]byte, error) {
 	return json.Marshal(out)
 }
 
+// maxHierarchyRawSize bounds the raw domain a deserialized hierarchy
+// may declare. Codes are uint16 throughout the dataset layer, and the
+// bound keeps an adversarial document from forcing a huge allocation
+// before model validation runs.
+const maxHierarchyRawSize = 1 << 16
+
 // UnmarshalJSON rebuilds the hierarchy, revalidating level consistency.
 func (h *Hierarchy) UnmarshalJSON(data []byte) (err error) {
 	var in hierarchyJSON
 	if err := json.Unmarshal(data, &in); err != nil {
 		return err
+	}
+	if in.RawSize < 1 || in.RawSize > maxHierarchyRawSize {
+		return fmt.Errorf("dataset: invalid hierarchy: raw size %d out of range [1, %d]", in.RawSize, maxHierarchyRawSize)
 	}
 	defer func() {
 		if r := recover(); r != nil {

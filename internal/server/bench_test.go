@@ -1,0 +1,60 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"privbayes/internal/core"
+)
+
+// benchModel caches one fitted fixture across all benchmark runs so
+// per-iteration cost is pure serving.
+var benchModel = struct {
+	once sync.Once
+	m    *core.Model
+}{}
+
+// BenchmarkServeSynthesize measures end-to-end streaming synthesis
+// throughput over HTTP — request, chunked generation through the worker
+// budget, CSV encoding, transport — at n ∈ {1e4, 1e5} × per-request
+// parallelism. The rows/s metric is the serving headline captured in
+// BENCH_serving.json (make bench-json).
+func BenchmarkServeSynthesize(b *testing.B) {
+	benchModel.once.Do(func() { benchModel.m = fitTestModel(b) })
+	for _, n := range []int{10_000, 100_000} {
+		for _, par := range []int{1, 4} {
+			b.Run(fmt.Sprintf("n=%d/par=%d", n, par), func(b *testing.B) {
+				s, err := New(Config{MaxWorkers: 4})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := s.Registry().Put("bench", "dir", benchModel.m, 1); err != nil {
+					b.Fatal(err)
+				}
+				ts := httptest.NewServer(s)
+				defer ts.Close()
+				c := NewClient(ts.URL)
+				ctx := context.Background()
+
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					seed := int64(i)
+					stream, err := c.Synthesize(ctx, "bench", SynthesizeRequest{N: n, Seed: &seed, Parallelism: par})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := io.Copy(io.Discard, stream.Body); err != nil {
+						b.Fatal(err)
+					}
+					stream.Close()
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+			})
+		}
+	}
+}

@@ -1,0 +1,300 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"mime/multipart"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"privbayes/internal/accountant"
+)
+
+// Client talks to a privbayesd instance. It is the programmatic
+// counterpart of the HTTP API: examples, the serving benchmarks, and
+// downstream Go consumers use it instead of hand-rolled requests.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://localhost:8131".
+	BaseURL string
+	// HTTP is the underlying client; nil selects http.DefaultClient.
+	HTTP *http.Client
+}
+
+// NewClient returns a client for the server at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// apiError decodes a non-2xx response into an error.
+func apiError(resp *http.Response) error {
+	defer resp.Body.Close()
+	var body errorBody
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if json.Unmarshal(raw, &body) == nil && body.Error != "" {
+		return fmt.Errorf("server: %s: %s", resp.Status, body.Error)
+	}
+	return fmt.Errorf("server: %s", resp.Status)
+}
+
+func (c *Client) getJSON(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Health checks liveness.
+func (c *Client) Health(ctx context.Context) error {
+	var out map[string]any
+	return c.getJSON(ctx, "/healthz", &out)
+}
+
+// Models lists the registered models.
+func (c *Client) Models(ctx context.Context) ([]ModelMeta, error) {
+	var out struct {
+		Models []ModelMeta `json:"models"`
+	}
+	err := c.getJSON(ctx, "/models", &out)
+	return out.Models, err
+}
+
+// Model fetches one model's metadata.
+func (c *Client) Model(ctx context.Context, id string) (ModelMeta, error) {
+	var out ModelMeta
+	err := c.getJSON(ctx, "/models/"+url.PathEscape(id), &out)
+	return out, err
+}
+
+// Budget returns the per-dataset privacy ledger.
+func (c *Client) Budget(ctx context.Context) (map[string]accountant.Entry, error) {
+	var out struct {
+		Datasets map[string]accountant.Entry `json:"datasets"`
+	}
+	err := c.getJSON(ctx, "/budget", &out)
+	return out.Datasets, err
+}
+
+// Upload registers a SaveModel artifact read from r. Empty id lets the
+// server assign one.
+func (c *Client) Upload(ctx context.Context, id string, artifact io.Reader) (ModelMeta, error) {
+	u := c.BaseURL + "/models"
+	if id != "" {
+		u += "?id=" + url.QueryEscape(id)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, artifact)
+	if err != nil {
+		return ModelMeta{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return ModelMeta{}, err
+	}
+	if resp.StatusCode != http.StatusCreated {
+		return ModelMeta{}, apiError(resp)
+	}
+	defer resp.Body.Close()
+	var meta ModelMeta
+	err = json.NewDecoder(resp.Body).Decode(&meta)
+	return meta, err
+}
+
+// SynthesizeRequest parameterizes a synthesis stream.
+type SynthesizeRequest struct {
+	// N is the number of rows (required).
+	N int
+	// Seed pins the RNG stream; nil lets the server draw one (echoed in
+	// the response's Seed).
+	Seed *int64
+	// Format is "csv" (default) or "jsonl".
+	Format string
+	// Parallelism asks for up to this many workers from the server's
+	// budget; 0 accepts the server default.
+	Parallelism int
+}
+
+// SynthesisStream is a live streaming response: read Body incrementally
+// (rows arrive in chunks as the server generates them) and Close when
+// done.
+type SynthesisStream struct {
+	// Body streams the csv/jsonl payload.
+	Body io.ReadCloser
+	// Seed is the RNG seed the server used — pass it back via
+	// SynthesizeRequest.Seed to reproduce the stream byte for byte.
+	Seed int64
+}
+
+func (s *SynthesisStream) Close() error { return s.Body.Close() }
+
+// Synthesize opens a synthesis stream from a registered model.
+func (c *Client) Synthesize(ctx context.Context, id string, sr SynthesizeRequest) (*SynthesisStream, error) {
+	q := url.Values{}
+	q.Set("n", strconv.Itoa(sr.N))
+	if sr.Seed != nil {
+		q.Set("seed", strconv.FormatInt(*sr.Seed, 10))
+	}
+	if sr.Format != "" {
+		q.Set("format", sr.Format)
+	}
+	if sr.Parallelism > 0 {
+		q.Set("parallelism", strconv.Itoa(sr.Parallelism))
+	}
+	u := c.BaseURL + "/models/" + url.PathEscape(id) + "/synthesize?" + q.Encode()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	seed, _ := strconv.ParseInt(resp.Header.Get("X-Privbayes-Seed"), 10, 64)
+	return &SynthesisStream{Body: resp.Body, Seed: seed}, nil
+}
+
+// Marginal asks for the exact marginal distribution over the named
+// attributes (see Model.InferMarginal). maxCells 0 accepts the server
+// default bound.
+func (c *Client) Marginal(ctx context.Context, id string, attrs []string, maxCells int) (MarginalResult, error) {
+	body, err := json.Marshal(marginalRequest{Attrs: attrs, MaxCells: maxCells})
+	if err != nil {
+		return MarginalResult{}, err
+	}
+	u := c.BaseURL + "/models/" + url.PathEscape(id) + "/marginal"
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, strings.NewReader(string(body)))
+	if err != nil {
+		return MarginalResult{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return MarginalResult{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return MarginalResult{}, apiError(resp)
+	}
+	defer resp.Body.Close()
+	var out MarginalResult
+	err = json.NewDecoder(resp.Body).Decode(&out)
+	return out, err
+}
+
+// MarginalResult is a dense marginal distribution over the requested
+// attributes, row-major with the last attribute varying fastest.
+type MarginalResult struct {
+	Attrs []string  `json:"attrs"`
+	Dims  []int     `json:"dims"`
+	P     []float64 `json:"p"`
+}
+
+// FitRequest parameterizes a curator-mode fit.
+type FitRequest struct {
+	// DatasetID keys the privacy ledger: every fit against the same id
+	// composes sequentially toward its budget.
+	DatasetID string
+	// Epsilon is the total DP budget of this fit.
+	Epsilon float64
+	// ModelID optionally names the resulting model.
+	ModelID string
+	// Seed pins the fit RNG; nil lets the server draw one.
+	Seed *int64
+	// Parallelism asks for up to this many fit workers.
+	Parallelism int
+	// Schema describes the CSV columns.
+	Schema []AttrSpec
+	// Data streams the CSV (header row first).
+	Data io.Reader
+}
+
+// Fit uploads a dataset and fits a model under the dataset's privacy
+// budget. The upload is streamed — schema and parameters first, then
+// the CSV — so large datasets never buffer client-side.
+func (c *Client) Fit(ctx context.Context, fr FitRequest) (ModelMeta, error) {
+	pr, pw := io.Pipe()
+	mw := multipart.NewWriter(pw)
+	go func() {
+		err := writeFitBody(mw, fr)
+		if cerr := mw.Close(); err == nil {
+			err = cerr
+		}
+		pw.CloseWithError(err)
+	}()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/fit", pr)
+	if err != nil {
+		return ModelMeta{}, err
+	}
+	req.Header.Set("Content-Type", mw.FormDataContentType())
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return ModelMeta{}, err
+	}
+	if resp.StatusCode != http.StatusCreated {
+		return ModelMeta{}, apiError(resp)
+	}
+	defer resp.Body.Close()
+	var meta ModelMeta
+	err = json.NewDecoder(resp.Body).Decode(&meta)
+	return meta, err
+}
+
+// writeFitBody emits the multipart fields in the order the server
+// requires: every scalar and the schema before the streamed data part.
+func writeFitBody(mw *multipart.Writer, fr FitRequest) error {
+	if err := mw.WriteField("dataset_id", fr.DatasetID); err != nil {
+		return err
+	}
+	if err := mw.WriteField("epsilon", strconv.FormatFloat(fr.Epsilon, 'g', -1, 64)); err != nil {
+		return err
+	}
+	if fr.ModelID != "" {
+		if err := mw.WriteField("model_id", fr.ModelID); err != nil {
+			return err
+		}
+	}
+	if fr.Seed != nil {
+		if err := mw.WriteField("seed", strconv.FormatInt(*fr.Seed, 10)); err != nil {
+			return err
+		}
+	}
+	if fr.Parallelism > 0 {
+		if err := mw.WriteField("parallelism", strconv.Itoa(fr.Parallelism)); err != nil {
+			return err
+		}
+	}
+	schema, err := json.Marshal(fr.Schema)
+	if err != nil {
+		return err
+	}
+	if err := mw.WriteField("schema", string(schema)); err != nil {
+		return err
+	}
+	part, err := mw.CreateFormFile("data", "data.csv")
+	if err != nil {
+		return err
+	}
+	_, err = io.Copy(part, fr.Data)
+	return err
+}

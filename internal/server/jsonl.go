@@ -1,0 +1,67 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"strconv"
+
+	"privbayes/internal/dataset"
+)
+
+// jsonlWriter streams synthetic rows as newline-delimited JSON objects,
+// one per row, keys in schema order. Attribute names and categorical
+// labels are JSON-escaped once up front, so the per-row loop only
+// copies bytes; continuous attributes decode to their bin centers as
+// JSON numbers.
+type jsonlWriter struct {
+	w       io.Writer
+	attrs   []dataset.Attribute
+	names   [][]byte   // `"name":` per attribute
+	labels  [][][]byte // escaped label per categorical code; nil for continuous
+	buf     bytes.Buffer
+	scratch []byte // float-formatting scratch, reused across cells
+}
+
+func newJSONLWriter(w io.Writer, attrs []dataset.Attribute) *jsonlWriter {
+	jw := &jsonlWriter{w: w, attrs: attrs, names: make([][]byte, len(attrs)), labels: make([][][]byte, len(attrs))}
+	for i := range attrs {
+		a := &attrs[i]
+		name, _ := json.Marshal(a.Name)
+		jw.names[i] = append(name, ':')
+		if a.Kind == dataset.Categorical {
+			codes := make([][]byte, a.Size())
+			for c := range codes {
+				codes[c], _ = json.Marshal(a.Label(c))
+			}
+			jw.labels[i] = codes
+		}
+	}
+	return jw
+}
+
+// writeRows renders rows [lo, hi) of d and flushes them to the
+// underlying writer in one Write, so each chunk is one syscall-sized
+// burst to the client.
+func (jw *jsonlWriter) writeRows(d *dataset.Dataset, lo, hi int) error {
+	jw.buf.Reset()
+	for r := lo; r < hi; r++ {
+		jw.buf.WriteByte('{')
+		for c := range jw.attrs {
+			if c > 0 {
+				jw.buf.WriteByte(',')
+			}
+			jw.buf.Write(jw.names[c])
+			code := d.Value(r, c)
+			if jw.labels[c] != nil {
+				jw.buf.Write(jw.labels[c][code])
+			} else {
+				jw.scratch = strconv.AppendFloat(jw.scratch[:0], jw.attrs[c].BinCenter(code), 'g', -1, 64)
+				jw.buf.Write(jw.scratch)
+			}
+		}
+		jw.buf.WriteString("}\n")
+	}
+	_, err := jw.w.Write(jw.buf.Bytes())
+	return err
+}

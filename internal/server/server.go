@@ -1,0 +1,744 @@
+// Package server is the privbayesd serving subsystem: an HTTP service
+// that hosts a registry of fitted PrivBayes models and serves synthesis
+// and marginal inference from them, plus a curator mode that fits new
+// models under a persistent per-dataset privacy-budget ledger
+// (internal/accountant).
+//
+// Serving never touches sensitive data: a registered model is the ε-DP
+// release itself (see privbayes.SaveModel), so synthesis and inference
+// requests cost no additional privacy budget. Only POST /fit — which
+// reads raw data — is metered.
+//
+// Endpoints:
+//
+//	GET  /healthz                  liveness + worker budget
+//	GET  /models                   list registered models
+//	POST /models[?id=...]          upload a SaveModel artifact
+//	GET  /models/{id}              model metadata (network, ε, schema)
+//	GET  /models/{id}/synthesize   stream synthetic rows (also POST)
+//	POST /models/{id}/marginal     exact marginal inference
+//	POST /fit                      curator mode: CSV + schema + ε -> model
+//	GET  /budget                   per-dataset privacy-budget ledger
+package server
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"mime"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync/atomic"
+
+	"privbayes"
+	"privbayes/internal/accountant"
+	"privbayes/internal/core"
+	"privbayes/internal/dataset"
+	"privbayes/internal/parallel"
+)
+
+// Defaults for Config zero values.
+const (
+	// DefaultMaxSynthesisRows caps n per synthesize request.
+	DefaultMaxSynthesisRows = 10_000_000
+	// DefaultMaxUploadBytes caps model-artifact and fit-CSV uploads.
+	DefaultMaxUploadBytes = 256 << 20
+	// streamRows is the synthesis chunk: rows are generated and written
+	// in bursts of this size, bounding per-request memory regardless of
+	// n. It must be a multiple of the sampler's internal 2048-row chunk
+	// so that chunked streaming draws the identical RNG streams as one
+	// monolithic SampleP call (TestSynthesizeMatchesSampleP enforces
+	// this).
+	streamRows = 16_384
+)
+
+// Config configures a Server. The zero value serves models from memory
+// only, with curator mode disabled.
+type Config struct {
+	// ModelsDir, when set, is scanned for *.json model artifacts at
+	// startup, and receives every model uploaded or fitted later.
+	ModelsDir string
+	// Ledger meters curator-mode fits per dataset id. Nil disables
+	// POST /fit entirely.
+	Ledger *accountant.Ledger
+	// MaxWorkers is the server-wide worker budget shared by all
+	// requests; <= 0 selects GOMAXPROCS.
+	MaxWorkers int
+	// MaxRequestParallelism caps the workers any single request may
+	// claim from the budget; <= 0 means up to the whole budget.
+	MaxRequestParallelism int
+	// MaxSynthesisRows caps n per synthesize request; <= 0 selects
+	// DefaultMaxSynthesisRows.
+	MaxSynthesisRows int
+	// MaxUploadBytes caps request bodies (model uploads, fit CSVs);
+	// <= 0 selects DefaultMaxUploadBytes.
+	MaxUploadBytes int64
+	// Logf, when set, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+// Server implements http.Handler over a model registry, a worker
+// budget, and an optional privacy-budget ledger.
+type Server struct {
+	cfg        Config
+	registry   *Registry
+	ledger     *accountant.Ledger
+	ledgerPath string // absolute path of the ledger file, "" if in-memory
+	workers    *workerBudget
+	maxRows    int
+	maxBytes   int64
+	maxPar     int
+	mux        *http.ServeMux
+	seq        atomic.Int64 // generated-id counter
+}
+
+// New builds a Server, loading any models already in cfg.ModelsDir.
+// Corrupt artifacts in the directory are logged and skipped so one bad
+// file cannot keep the daemon down.
+func New(cfg Config) (*Server, error) {
+	s := &Server{
+		cfg:      cfg,
+		registry: NewRegistry(),
+		ledger:   cfg.Ledger,
+		workers:  newWorkerBudget(parallel.Workers(cfg.MaxWorkers)),
+		maxRows:  cfg.MaxSynthesisRows,
+		maxBytes: cfg.MaxUploadBytes,
+		maxPar:   cfg.MaxRequestParallelism,
+	}
+	if s.maxRows <= 0 {
+		s.maxRows = DefaultMaxSynthesisRows
+	}
+	if s.maxBytes <= 0 {
+		s.maxBytes = DefaultMaxUploadBytes
+	}
+	if s.maxPar <= 0 || s.maxPar > s.workers.total {
+		s.maxPar = s.workers.total
+	}
+	if cfg.Ledger != nil && cfg.Ledger.Path() != "" {
+		abs, err := filepath.Abs(cfg.Ledger.Path())
+		if err != nil {
+			return nil, fmt.Errorf("server: ledger path: %w", err)
+		}
+		s.ledgerPath = abs
+	}
+	if cfg.ModelsDir != "" {
+		if err := os.MkdirAll(cfg.ModelsDir, 0o755); err != nil {
+			return nil, fmt.Errorf("server: models dir: %w", err)
+		}
+		n, errs := s.registry.LoadDir(cfg.ModelsDir, s.ledgerPath)
+		for _, err := range errs {
+			s.logf("skipping model artifact: %v", err)
+		}
+		s.logf("loaded %d model(s) from %s", n, cfg.ModelsDir)
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /models", s.handleList)
+	mux.HandleFunc("POST /models", s.handleUpload)
+	mux.HandleFunc("GET /models/{id}", s.handleModel)
+	mux.HandleFunc("GET /models/{id}/synthesize", s.handleSynthesize)
+	mux.HandleFunc("POST /models/{id}/synthesize", s.handleSynthesize)
+	mux.HandleFunc("POST /models/{id}/marginal", s.handleMarginal)
+	mux.HandleFunc("POST /fit", s.handleFit)
+	mux.HandleFunc("GET /budget", s.handleBudget)
+	s.mux = mux
+	return s, nil
+}
+
+// Registry exposes the model registry (read-mostly; used by privbayesd
+// for startup reporting and by tests).
+func (s *Server) Registry() *Registry { return s.registry }
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// freshID generates "<prefix>-N", skipping ids already registered —
+// the counter restarts at zero each process start, but models persisted
+// by a previous run reload from ModelsDir with their old generated ids.
+// The prefix is truncated so the result always satisfies ValidID's
+// 128-char cap even for maximal dataset ids.
+func (s *Server) freshID(prefix string) string {
+	if len(prefix) > 100 {
+		prefix = prefix[:100]
+	}
+	for {
+		id := fmt.Sprintf("%s-%d", prefix, s.seq.Add(1))
+		if _, _, err := s.registry.Get(id); err != nil {
+			return id
+		}
+	}
+}
+
+// requestWorkers resolves a client's parallelism ask against the
+// per-request cap: 0 means "the server default" (the full cap), any
+// positive ask is clamped to it. The worker budget still decides what
+// is actually granted.
+func (s *Server) requestWorkers(asked int) int {
+	if asked <= 0 || asked > s.maxPar {
+		return s.maxPar
+	}
+	return asked
+}
+
+// errorBody is every non-2xx response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// statusFor maps a domain error to an HTTP status.
+func statusFor(err error) int {
+	var tooBig *http.MaxBytesError
+	switch {
+	case errors.As(err, &tooBig):
+		return http.StatusRequestEntityTooLarge
+	case errors.Is(err, accountant.ErrPersist):
+		// A ledger that cannot be made durable is a server fault, not a
+		// client error — surface it as 5xx so operators and retry logic
+		// see it.
+		return http.StatusInternalServerError
+	case errors.Is(err, ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, ErrExists):
+		return http.StatusConflict
+	case errors.Is(err, accountant.ErrBudgetExceeded):
+		return http.StatusForbidden
+	case errors.Is(err, core.ErrInvalidModel):
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":            "ok",
+		"models":            s.registry.Len(),
+		"workers_total":     s.workers.total,
+		"workers_available": s.workers.available(),
+	})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"models": s.registry.List()})
+}
+
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	_, meta, err := s.registry.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, statusFor(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, meta)
+}
+
+func (s *Server) handleBudget(w http.ResponseWriter, r *http.Request) {
+	if s.ledger == nil {
+		writeJSON(w, http.StatusOK, map[string]any{"datasets": map[string]accountant.Entry{}})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"datasets": s.ledger.Snapshot()})
+}
+
+// handleUpload registers a SaveModel artifact posted as the request
+// body. The artifact is fully revalidated; malformed documents are
+// rejected with 422 and never panic (see core.ReadModelJSON).
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("id")
+	if id == "" {
+		id = s.freshID("upload")
+	}
+	if s.idCollidesWithLedger(id) {
+		writeError(w, http.StatusBadRequest, "model id %q collides with the ledger file", id)
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.maxBytes)
+	if err := s.registry.Add(id, "upload", body); err != nil {
+		writeError(w, statusFor(err), "%v", err)
+		return
+	}
+	model, meta, _ := s.registry.Get(id)
+	s.persist(id, model, meta.Epsilon)
+	writeJSON(w, http.StatusCreated, meta)
+}
+
+// idCollidesWithLedger reports whether persisting model id would land
+// on the privacy ledger's file — e.g. model id "ledger" with the ledger
+// at <models-dir>/ledger.json. Allowing that write would replace the
+// recorded ε spend with a model artifact, so colliding ids are rejected
+// at registration time.
+func (s *Server) idCollidesWithLedger(id string) bool {
+	if s.cfg.ModelsDir == "" || s.ledgerPath == "" {
+		return false
+	}
+	abs, err := filepath.Abs(filepath.Join(s.cfg.ModelsDir, id+".json"))
+	return err == nil && abs == s.ledgerPath
+}
+
+// persist writes a registered model to the models directory so it
+// survives restarts. Best-effort: serving continues from memory if the
+// write fails, and the failure is logged.
+func (s *Server) persist(id string, m *core.Model, epsilon float64) {
+	if s.cfg.ModelsDir == "" {
+		return
+	}
+	path := filepath.Join(s.cfg.ModelsDir, id+".json")
+	if abs, err := filepath.Abs(path); err != nil || abs == s.ledgerPath {
+		// Defense in depth behind idCollidesWithLedger.
+		s.logf("persist %s: refusing to overwrite the ledger file", id)
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		s.logf("persist %s: %v", id, err)
+		return
+	}
+	err = m.WriteJSON(f, epsilon)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		s.logf("persist %s: %v", id, err)
+		os.Remove(path)
+	}
+}
+
+// synthesizeParams are the knobs of a synthesize request, from query
+// parameters (GET/POST) or a JSON body (POST).
+type synthesizeParams struct {
+	N           int    `json:"n"`
+	Seed        *int64 `json:"seed"`
+	Format      string `json:"format"`
+	Parallelism int    `json:"parallelism"`
+}
+
+func parseSynthesizeParams(r *http.Request) (synthesizeParams, error) {
+	var p synthesizeParams
+	q := r.URL.Query()
+	mediaType, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	if r.Method == http.MethodPost && mediaType == "application/json" {
+		body := http.MaxBytesReader(nil, r.Body, 1<<20)
+		if err := json.NewDecoder(body).Decode(&p); err != nil {
+			return p, fmt.Errorf("decode request body: %v", err)
+		}
+	}
+	if v := q.Get("n"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return p, fmt.Errorf("parameter n: %v", err)
+		}
+		p.N = n
+	}
+	if v := q.Get("seed"); v != "" {
+		seed, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return p, fmt.Errorf("parameter seed: %v", err)
+		}
+		p.Seed = &seed
+	}
+	if v := q.Get("format"); v != "" {
+		p.Format = v
+	}
+	if v := q.Get("parallelism"); v != "" {
+		par, err := strconv.Atoi(v)
+		if err != nil {
+			return p, fmt.Errorf("parameter parallelism: %v", err)
+		}
+		p.Parallelism = par
+	}
+	if p.Format == "" {
+		p.Format = "csv"
+	}
+	if p.Format != "csv" && p.Format != "jsonl" {
+		return p, fmt.Errorf("unknown format %q (want csv or jsonl)", p.Format)
+	}
+	return p, nil
+}
+
+// handleSynthesize streams n synthetic rows from a registered model.
+//
+// The response is generated in streamRows-row chunks: for each chunk
+// the request claims workers from the server-wide budget, samples the
+// chunk through Model.SampleP and the internal/parallel pool, releases
+// the workers, and only then writes the chunk to the client. Workers
+// are never held across a client write, so a slow reader back-pressures
+// its own TCP stream while the budget serves other requests, and
+// per-request memory stays bounded by the chunk size no matter how
+// large n is.
+//
+// Determinism: for a fixed (model, n, seed) the streamed rows are
+// byte-identical across requests, worker counts, and server load —
+// chunk geometry and RNG streams are derived from (n, seed) only, and
+// the effective parallelism passed to the sampler is kept >= 2 so the
+// worker-count-independent chunked RNG scheme is always in effect (see
+// core.Model.SampleP). When the caller omits seed, the server draws one
+// and returns it in the X-Privbayes-Seed header, so any stream can be
+// reproduced later.
+func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
+	model, meta, err := s.registry.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, statusFor(err), "%v", err)
+		return
+	}
+	p, err := parseSynthesizeParams(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if p.N < 1 || p.N > s.maxRows {
+		writeError(w, http.StatusBadRequest, "n must be in [1, %d], got %d", s.maxRows, p.N)
+		return
+	}
+	seed := rand.Int63()
+	if p.Seed != nil {
+		seed = *p.Seed
+	}
+
+	w.Header().Set("X-Privbayes-Model", meta.ID)
+	w.Header().Set("X-Privbayes-Seed", strconv.FormatInt(seed, 10))
+	w.Header().Set("X-Privbayes-Rows", strconv.Itoa(p.N))
+	if p.Format == "csv" {
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+
+	flusher, _ := w.(http.Flusher)
+	rng := rand.New(rand.NewSource(seed))
+	var cw *csv.Writer
+	var jw *jsonlWriter
+	if p.Format == "csv" {
+		cw = csv.NewWriter(w)
+		if err := cw.Write(dataset.New(model.Attrs).CSVHeader()); err != nil {
+			return
+		}
+	} else {
+		jw = newJSONLWriter(w, model.Attrs)
+	}
+
+	ctx := r.Context()
+	want := s.requestWorkers(p.Parallelism)
+	for lo := 0; lo < p.N; lo += streamRows {
+		rows := min(streamRows, p.N-lo)
+		got, release, err := s.workers.acquire(ctx, want)
+		if err != nil {
+			return // client gone while waiting for workers
+		}
+		// Parallelism 1 selects the sampler's serial legacy stream,
+		// which draws different tuples than the chunked scheme; pin the
+		// chunked path so the response never depends on how many
+		// workers the budget could spare.
+		eff := max(got, 2)
+		chunk := model.SampleP(rows, rng, eff)
+		release()
+
+		if ctx.Err() != nil {
+			return
+		}
+		if p.Format == "csv" {
+			if err := chunk.WriteCSVRows(cw, 0, rows); err != nil {
+				return
+			}
+			cw.Flush()
+			if cw.Error() != nil {
+				return
+			}
+		} else {
+			if err := jw.writeRows(chunk, 0, rows); err != nil {
+				return
+			}
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+// marginalRequest is the body of POST /models/{id}/marginal.
+type marginalRequest struct {
+	// Attrs names the queried attributes, in result order.
+	Attrs []string `json:"attrs"`
+	// MaxCells bounds the intermediate inference joint; it is clamped
+	// to the server's ceiling (core.DefaultInferenceCells), so clients
+	// can only tighten the bound, never lift it.
+	MaxCells int `json:"max_cells"`
+}
+
+// handleMarginal answers a marginal query by exact forward inference on
+// the model (Model.InferMarginal) — no sampling error, no privacy cost.
+func (s *Server) handleMarginal(w http.ResponseWriter, r *http.Request) {
+	model, _, err := s.registry.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, statusFor(err), "%v", err)
+		return
+	}
+	var req marginalRequest
+	body := http.MaxBytesReader(w, r.Body, 1<<20)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decode request body: %v", err)
+		return
+	}
+	if len(req.Attrs) == 0 {
+		writeError(w, http.StatusBadRequest, "attrs must name at least one attribute")
+		return
+	}
+	// The cells bound is a memory guard: honor a client's tighter
+	// bound, never a looser one.
+	if req.MaxCells <= 0 || req.MaxCells > core.DefaultInferenceCells {
+		req.MaxCells = core.DefaultInferenceCells
+	}
+	idx := make([]int, len(req.Attrs))
+	for i, name := range req.Attrs {
+		idx[i] = -1
+		for a := range model.Attrs {
+			if model.Attrs[a].Name == name {
+				idx[i] = a
+				break
+			}
+		}
+		if idx[i] < 0 {
+			writeError(w, http.StatusBadRequest, "unknown attribute %q", name)
+			return
+		}
+	}
+	table, err := model.InferMarginal(idx, req.MaxCells)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, MarginalResult{Attrs: req.Attrs, Dims: table.Dims, P: table.P})
+}
+
+// handleFit is curator mode: a multipart upload of schema + CSV + ε
+// runs privbayes.Fit and registers (and persists) the resulting model.
+// Every fit is metered against the dataset's ε budget in the ledger
+// BEFORE the data is touched; a fit that would overdraw is rejected
+// with 403 and computes nothing. The multipart fields are dataset_id,
+// epsilon, schema (JSON array of AttrSpec), and optionally model_id,
+// seed and parallelism; the CSV part must be named "data" and come
+// last, so the upload streams without buffering.
+func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
+	if s.ledger == nil {
+		writeError(w, http.StatusServiceUnavailable, "curator mode disabled: no privacy ledger configured")
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBytes)
+	mr, err := r.MultipartReader()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "multipart body required: %v", err)
+		return
+	}
+
+	var (
+		datasetID, modelID string
+		epsilon            float64
+		haveEpsilon        bool
+		seed               int64
+		haveSeed           bool
+		par                int
+		specs              []AttrSpec
+		ds                 *dataset.Dataset
+	)
+	charged := false
+	refund := func() {
+		if charged {
+			if err := s.ledger.Refund(datasetID, epsilon); err != nil {
+				s.logf("refund %s ε=%g: %v", datasetID, epsilon, err)
+			}
+		}
+	}
+
+	for {
+		part, err := mr.NextPart()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			// Only a clean end-of-form may end the loop: a malformed
+			// part after the charge must reject (and refund), not be
+			// silently dropped from an accepted fit.
+			refund()
+			writeError(w, http.StatusBadRequest, "read multipart body: %v", err)
+			return
+		}
+		name := part.FormName()
+		// The data part must be last: the ledger is charged from the
+		// fields in hand when it arrives, so a field accepted afterwards
+		// could change ε (or the dataset id) after metering — a
+		// privacy-accounting bypass. Reject instead.
+		if ds != nil {
+			refund()
+			writeError(w, http.StatusBadRequest, "field %q after the data part; data must come last", name)
+			return
+		}
+		if name == "data" {
+			// Everything needed to decode and meter the stream must be
+			// in hand before the data part.
+			if datasetID == "" || !haveEpsilon || specs == nil {
+				writeError(w, http.StatusBadRequest, "dataset_id, epsilon and schema must precede the data part")
+				return
+			}
+			attrs, err := SchemaFromSpecs(specs)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, "%v", err)
+				return
+			}
+			// Meter before reading a single row: the budget guards data
+			// access, and a rejected fit must not consume the upload.
+			if err := s.ledger.Charge(datasetID, epsilon); err != nil {
+				writeError(w, statusFor(err), "%v", err)
+				return
+			}
+			charged = true
+			ds, err = dataset.ReadCSV(part, attrs)
+			if err != nil {
+				refund()
+				// statusFor distinguishes an upload that blew the size
+				// cap (413) from a malformed CSV (400).
+				writeError(w, statusFor(err), "%v", err)
+				return
+			}
+			continue
+		}
+		val, err := readFormValue(part)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "field %s: %v", name, err)
+			return
+		}
+		switch name {
+		case "dataset_id":
+			if !ValidID(val) {
+				writeError(w, http.StatusBadRequest, "invalid dataset_id %q", val)
+				return
+			}
+			datasetID = val
+		case "model_id":
+			if !ValidID(val) {
+				writeError(w, http.StatusBadRequest, "invalid model_id %q", val)
+				return
+			}
+			modelID = val
+		case "epsilon":
+			epsilon, err = strconv.ParseFloat(val, 64)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, "field epsilon: %v", err)
+				return
+			}
+			haveEpsilon = true
+		case "seed":
+			seed, err = strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, "field seed: %v", err)
+				return
+			}
+			haveSeed = true
+		case "parallelism":
+			par, err = strconv.Atoi(val)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, "field parallelism: %v", err)
+				return
+			}
+		case "schema":
+			if err := json.Unmarshal([]byte(val), &specs); err != nil {
+				writeError(w, http.StatusBadRequest, "field schema: %v", err)
+				return
+			}
+		default:
+			writeError(w, http.StatusBadRequest, "unknown field %q", name)
+			return
+		}
+	}
+	if ds == nil {
+		refund()
+		writeError(w, http.StatusBadRequest, "missing data part")
+		return
+	}
+	if ds.N() == 0 {
+		refund()
+		writeError(w, http.StatusBadRequest, "data part has no rows")
+		return
+	}
+	if modelID == "" {
+		modelID = s.freshID(datasetID + "-fit")
+	}
+	if s.idCollidesWithLedger(modelID) {
+		refund()
+		writeError(w, http.StatusBadRequest, "model id %q collides with the ledger file", modelID)
+		return
+	}
+	if _, _, err := s.registry.Get(modelID); err == nil {
+		refund()
+		writeError(w, http.StatusConflict, "model id %q already registered", modelID)
+		return
+	}
+	if !haveSeed {
+		seed = rand.Int63()
+	}
+
+	// The fit itself runs on workers from the shared budget, like any
+	// synthesis chunk.
+	got, release, err := s.workers.acquire(r.Context(), s.requestWorkers(par))
+	if err != nil {
+		refund()
+		return
+	}
+	model, err := privbayes.Fit(ds, privbayes.Options{
+		Epsilon:     epsilon,
+		Parallelism: max(got, 2), // stay on the worker-count-independent paths
+		Rand:        rand.New(rand.NewSource(seed)),
+	})
+	release()
+	if err != nil {
+		// The failed fit released nothing observable, so the budget
+		// charge is returned (sequential composition meters releases).
+		refund()
+		writeError(w, http.StatusBadRequest, "fit: %v", err)
+		return
+	}
+	if err := s.registry.Put(modelID, "fit", model, epsilon); err != nil {
+		refund()
+		writeError(w, statusFor(err), "%v", err)
+		return
+	}
+	s.persist(modelID, model, epsilon)
+	_, meta, _ := s.registry.Get(modelID)
+	w.Header().Set("X-Privbayes-Seed", strconv.FormatInt(seed, 10))
+	writeJSON(w, http.StatusCreated, meta)
+}
+
+// maxFieldBytes bounds one scalar multipart field (the schema JSON is
+// the largest legitimate one).
+const maxFieldBytes = 4 << 20
+
+func readFormValue(part io.Reader) (string, error) {
+	buf, err := io.ReadAll(io.LimitReader(part, maxFieldBytes+1))
+	if err != nil {
+		return "", err
+	}
+	if len(buf) > maxFieldBytes {
+		return "", fmt.Errorf("field exceeds %d bytes", maxFieldBytes)
+	}
+	return string(buf), nil
+}

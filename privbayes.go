@@ -63,6 +63,26 @@ const (
 // further privacy cost.
 type Model = core.Model
 
+// ModelInfo is a serializable summary of a fitted model — schema,
+// network structure, degree, score function and size — as returned by
+// Model.Info. Registries and inspection endpoints (see privbayesd's
+// GET /models) expose it directly; everything in it derives from the
+// ε-DP release, so surfacing it costs no privacy.
+type ModelInfo = core.ModelInfo
+
+// AttrInfo summarizes one schema attribute within a ModelInfo.
+type AttrInfo = core.AttrInfo
+
+// PairInfo renders one attribute-parent pair of the network by name.
+type PairInfo = core.PairInfo
+
+// ErrInvalidModel tags every rejection of a model artifact by
+// LoadModel: malformed JSON, a missing or unsupported format version,
+// or structural validation failure. Services accepting uploaded
+// artifacts branch on errors.Is(err, ErrInvalidModel) to separate bad
+// input from internal faults.
+var ErrInvalidModel = core.ErrInvalidModel
+
 // ScoreFunction selects the exponential-mechanism score.
 type ScoreFunction = score.Function
 
@@ -210,8 +230,11 @@ func SaveModel(w io.Writer, m *Model, epsilon float64) error {
 	return m.WriteJSON(w, epsilon)
 }
 
-// LoadModel reads a model persisted by SaveModel, revalidating its
-// structure, and returns it with the recorded ε.
+// LoadModel reads a model persisted by SaveModel and returns it with
+// the recorded ε. The artifact is fully revalidated — format version,
+// network structure, conditional-table dimensions and probability
+// vectors — so it is safe to call on untrusted input: malformed
+// documents return an error wrapping ErrInvalidModel, never a panic.
 func LoadModel(r io.Reader) (*Model, float64, error) {
 	return core.ReadModelJSON(r)
 }
