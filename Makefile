@@ -3,7 +3,8 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json serve lint cover fmt
+.PHONY: all build test race bench bench-json serve lint cover fmt \
+	apicheck api-baseline examples
 
 all: build test
 
@@ -50,6 +51,22 @@ serve:
 	@mkdir -p models
 	$(GO) run ./cmd/privbayesd -addr :8131 -models-dir models \
 		-ledger models/ledger.json
+
+# API-compatibility gate: the exported surface of the privbayes facade
+# must match the checked-in golden file. Any API change — addition or
+# break — fails CI until it is declared by regenerating the golden
+# (make api-baseline) and committing it with the change.
+apicheck:
+	$(GO) run ./cmd/apicheck -dir . -golden api/privbayes.txt
+
+api-baseline:
+	$(GO) run ./cmd/apicheck -dir . -golden api/privbayes.txt -write
+
+# Build every example as its own binary, so a facade change that breaks
+# an example breaks CI even though examples carry no tests.
+examples:
+	@set -e; for d in examples/*/; do \
+		echo "build $$d"; $(GO) build -o /dev/null ./$$d; done
 
 lint:
 	$(GO) vet ./...

@@ -1,0 +1,165 @@
+package privbayes
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// cancelData is a dataset big enough that a fit spans many pipeline
+// units (greedy iterations, joints, sample chunks), so cancellation has
+// somewhere to land mid-flight.
+func cancelData(n, d int) *Dataset {
+	attrs := make([]Attribute, d)
+	for i := range attrs {
+		attrs[i] = NewCategorical(string(rune('a'+i)), []string{"0", "1", "2", "3"})
+	}
+	ds := NewDataset(attrs)
+	rec := make([]uint16, d)
+	for r := 0; r < n; r++ {
+		for c := range rec {
+			rec[c] = uint16((r*(c+3) + c) % 4)
+		}
+		ds.Append(rec)
+	}
+	return ds
+}
+
+// waitGoroutines polls until the goroutine count drops back to at most
+// base (plus slack for the runtime's own helpers).
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutine leak: %d at baseline, %d now", base, runtime.NumGoroutine())
+}
+
+// TestFitCancelMidRun: cancelling mid-fit — from inside a progress
+// callback, so cancellation demonstrably lands while the pipeline is
+// running — returns context.Canceled promptly and leaks no goroutines.
+func TestFitCancelMidRun(t *testing.T) {
+	ds := cancelData(6000, 8)
+	base := runtime.NumGoroutine()
+	for _, par := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		events := 0
+		start := time.Now()
+		_, err := Fit(ctx, ds,
+			WithEpsilon(1), WithSeed(1), WithParallelism(par),
+			WithProgress(func(p Progress) {
+				events++
+				if events == 2 {
+					cancel()
+				}
+			}))
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("parallelism %d: err = %v, want context.Canceled", par, err)
+		}
+		if elapsed := time.Since(start); elapsed > 5*time.Second {
+			t.Errorf("parallelism %d: cancellation took %v", par, elapsed)
+		}
+	}
+	waitGoroutines(t, base)
+}
+
+// TestFitPreCancelled: an already-cancelled context fails before any
+// work happens.
+func TestFitPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Fit(ctx, cancelData(500, 4), WithEpsilon(1), WithSeed(2))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestSynthesizeStreamCancelMidStream: cancelling between yielded rows
+// surfaces context.Canceled through the iterator and tears the
+// sampling pool down without leaks.
+func TestSynthesizeStreamCancelMidStream(t *testing.T) {
+	m, err := Fit(context.Background(), cancelData(3000, 6), WithEpsilon(1), WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	rows, sawCancel := 0, false
+	for _, err := range m.Synthesize(ctx, 10_000_000, SynthSeed(4)) {
+		if err != nil {
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("stream error = %v, want context.Canceled", err)
+			}
+			sawCancel = true
+			break
+		}
+		rows++
+		if rows == 100 {
+			cancel()
+		}
+	}
+	cancel()
+	if !sawCancel {
+		t.Fatal("stream never surfaced the cancellation")
+	}
+	if rows >= 10_000_000 {
+		t.Fatal("stream ran to completion despite cancel")
+	}
+	waitGoroutines(t, base)
+}
+
+// TestSynthesizeToCancel: the writer-side stream honours ctx too.
+func TestSynthesizeToCancel(t *testing.T) {
+	m, err := Fit(context.Background(), cancelData(3000, 6), WithEpsilon(1), WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	w := &cancelAfterWriter{cancel: cancel, after: 3}
+	err = m.SynthesizeTo(ctx, w, 10_000_000, FormatCSV, SynthSeed(6))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// cancelAfterWriter cancels its context after `after` writes — a stand-
+// in for a client that disconnects mid-download.
+type cancelAfterWriter struct {
+	cancel context.CancelFunc
+	after  int
+	writes int
+}
+
+func (w *cancelAfterWriter) Write(p []byte) (int, error) {
+	w.writes++
+	if w.writes >= w.after {
+		w.cancel()
+	}
+	return len(p), nil
+}
+
+// TestSynthesizeMaterializedCancel covers the package-level Synthesize
+// path (fit + sample in one call).
+func TestSynthesizeMaterializedCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	events := 0
+	_, err := Synthesize(ctx, cancelData(6000, 8),
+		WithEpsilon(1), WithSeed(7),
+		WithProgress(func(p Progress) {
+			events++
+			if p.Phase == PhaseSampling && events > 0 {
+				cancel()
+			}
+		}))
+	cancel()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

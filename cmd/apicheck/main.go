@@ -1,0 +1,239 @@
+// Command apicheck is the repository's API-compatibility gate: it
+// extracts the exported surface of a Go package — every exported
+// function, method, type (with unexported struct fields elided),
+// constant and variable, one normalized line each — and compares it
+// against a checked-in golden file.
+//
+// CI runs `apicheck -dir . -golden api/privbayes.txt`; any change to
+// the facade's exported surface fails the build until the golden file
+// is regenerated (`apicheck -write ...`) and committed alongside the
+// change. The golden diff in the commit IS the declaration of the API
+// change — additions and breaking changes alike are reviewable line by
+// line, and nothing can slip through undeclared.
+//
+// Only the standard library is used (go/parser, go/printer), so the
+// gate runs anywhere the toolchain does.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+func main() {
+	var (
+		dir    = flag.String("dir", ".", "package directory to extract")
+		golden = flag.String("golden", "", "golden surface file to compare against (required)")
+		write  = flag.Bool("write", false, "regenerate the golden file instead of comparing")
+	)
+	flag.Parse()
+	if *golden == "" {
+		fmt.Fprintln(os.Stderr, "apicheck: -golden is required")
+		os.Exit(2)
+	}
+	surface, err := extract(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "apicheck:", err)
+		os.Exit(1)
+	}
+	if *write {
+		if err := os.WriteFile(*golden, []byte(surface), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "apicheck:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "apicheck: wrote %s\n", *golden)
+		return
+	}
+	want, err := os.ReadFile(*golden)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "apicheck:", err)
+		os.Exit(1)
+	}
+	if string(want) == surface {
+		fmt.Fprintf(os.Stderr, "apicheck: %s surface matches %s\n", *dir, *golden)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "apicheck: exported API surface of %s differs from %s\n", *dir, *golden)
+	fmt.Fprintf(os.Stderr, "apicheck: if the change is intentional, declare it: go run ./cmd/apicheck -dir %s -golden %s -write\n\n", *dir, *golden)
+	printDiff(os.Stderr, strings.Split(strings.TrimSuffix(string(want), "\n"), "\n"),
+		strings.Split(strings.TrimSuffix(surface, "\n"), "\n"))
+	os.Exit(1)
+}
+
+// printDiff reports lines present on only one side (set diff — enough
+// to review a surface change; ordering churn cannot happen because
+// extract sorts).
+func printDiff(w *os.File, want, got []string) {
+	wantSet := map[string]bool{}
+	for _, l := range want {
+		wantSet[l] = true
+	}
+	gotSet := map[string]bool{}
+	for _, l := range got {
+		gotSet[l] = true
+	}
+	for _, l := range want {
+		if !gotSet[l] {
+			fmt.Fprintf(w, "- %s\n", l)
+		}
+	}
+	for _, l := range got {
+		if !wantSet[l] {
+			fmt.Fprintf(w, "+ %s\n", l)
+		}
+	}
+}
+
+var spaces = regexp.MustCompile(`\s+`)
+
+// extract renders the package's exported surface as sorted, normalized
+// lines.
+func extract(dir string) (string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return "", err
+	}
+	var lines []string
+	for name, pkg := range pkgs {
+		if strings.HasSuffix(name, "_test") || name == "main" {
+			continue
+		}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				lines = append(lines, declLines(fset, decl)...)
+			}
+		}
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n", nil
+}
+
+// declLines renders one top-level declaration's exported parts.
+func declLines(fset *token.FileSet, decl ast.Decl) []string {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || !receiverExported(d) {
+			return nil
+		}
+		fn := *d
+		fn.Body = nil
+		fn.Doc = nil
+		return []string{render(fset, &fn)}
+	case *ast.GenDecl:
+		var lines []string
+		for specIdx, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if !s.Name.IsExported() {
+					continue
+				}
+				ts := *s
+				ts.Doc, ts.Comment = nil, nil
+				ts.Type = elideUnexported(s.Type)
+				lines = append(lines, "type "+render(fset, &ts))
+			case *ast.ValueSpec:
+				// Render one line per exported name so mixed spec lists
+				// stay reviewable; values are included because constant
+				// values (enum order!) are part of the contract. Specs
+				// with implicit values carry their iota ordinal, so
+				// silently reordering an enum block still changes the
+				// surface.
+				for i, name := range s.Names {
+					if !name.IsExported() {
+						continue
+					}
+					vs := &ast.ValueSpec{Names: []*ast.Ident{name}, Type: s.Type}
+					line := ""
+					if i < len(s.Values) {
+						vs.Values = []ast.Expr{s.Values[i]}
+					} else if d.Tok == token.CONST {
+						line = fmt.Sprintf(" (iota=%d)", specIdx)
+					}
+					lines = append(lines, keyword(d.Tok)+" "+render(fset, vs)+line)
+				}
+			}
+		}
+		return lines
+	default:
+		return nil
+	}
+}
+
+func keyword(tok token.Token) string {
+	if tok == token.CONST {
+		return "const"
+	}
+	return "var"
+}
+
+// receiverExported reports whether a method's receiver type is
+// exported (methods on unexported types are not public surface).
+func receiverExported(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+// elideUnexported strips unexported fields from struct types (they are
+// not part of the public surface and would churn the golden file).
+func elideUnexported(t ast.Expr) ast.Expr {
+	st, ok := t.(*ast.StructType)
+	if !ok {
+		return t
+	}
+	out := &ast.StructType{Fields: &ast.FieldList{}}
+	for _, f := range st.Fields.List {
+		var names []*ast.Ident
+		for _, n := range f.Names {
+			if n.IsExported() {
+				names = append(names, n)
+			}
+		}
+		if len(f.Names) > 0 && len(names) == 0 {
+			continue
+		}
+		nf := *f
+		nf.Doc, nf.Comment = nil, nil
+		nf.Names = names
+		out.Fields.List = append(out.Fields.List, &nf)
+	}
+	return out
+}
+
+// render prints a node on one whitespace-normalized line, so gofmt
+// styling never churns the golden file.
+func render(fset *token.FileSet, node any) string {
+	var buf bytes.Buffer
+	cfg := printer.Config{Mode: printer.RawFormat}
+	if err := cfg.Fprint(&buf, fset, node); err != nil {
+		return fmt.Sprintf("<render error: %v>", err)
+	}
+	return spaces.ReplaceAllString(strings.TrimSpace(buf.String()), " ")
+}

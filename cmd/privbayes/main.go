@@ -14,14 +14,16 @@
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
 	"io"
-	"math/rand"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
+	"syscall"
 
 	"privbayes"
 	"privbayes/internal/cliutil"
@@ -52,7 +54,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "privbayes:", err)
 		os.Exit(1)
 	}
-	err = run(*in, *out, *epsilon, *beta, *theta, *bins, *rows, *par, *seed)
+	// Ctrl-C cancels the pipeline mid-fit or mid-stream: the v2 API
+	// stops within one scoring batch or sample chunk and returns
+	// context.Canceled, so profiles still flush and temp state is not
+	// left behind by a killed process.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	err = run(ctx, *in, *out, *epsilon, *beta, *theta, *bins, *rows, *par, *seed)
+	cancel()
 	stop()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "privbayes:", err)
@@ -60,7 +68,7 @@ func main() {
 	}
 }
 
-func run(in, out string, epsilon, beta, theta float64, bins, rows, par int, seed int64) error {
+func run(ctx context.Context, in, out string, epsilon, beta, theta float64, bins, rows, par int, seed int64) error {
 	f, err := os.Open(in)
 	if err != nil {
 		return err
@@ -93,28 +101,35 @@ func run(in, out string, epsilon, beta, theta float64, bins, rows, par int, seed
 		ds.Append(rec)
 	}
 
-	rng := rand.New(rand.NewSource(seed))
-	model, err := privbayes.Fit(ds, privbayes.Options{
-		Epsilon: epsilon, Beta: beta, Theta: theta, Parallelism: par, Rand: rng,
-	})
+	model, err := privbayes.Fit(ctx, ds,
+		privbayes.WithEpsilon(epsilon),
+		privbayes.WithBeta(beta),
+		privbayes.WithTheta(theta),
+		privbayes.WithParallelism(par),
+		privbayes.WithSeed(seed),
+	)
 	if err != nil {
 		return err
 	}
 	if rows <= 0 {
 		rows = ds.N()
 	}
-	syn := model.SampleP(rows, rng, par)
 
 	of, err := os.Create(out)
 	if err != nil {
 		return err
 	}
 	defer of.Close()
-	if err := syn.WriteCSV(of); err != nil {
+	// Stream straight to the file: memory stays bounded by the
+	// generation chunk no matter how many rows are requested. The
+	// sampling seed is derived from -seed so the whole run replays from
+	// one flag.
+	if err := model.SynthesizeTo(ctx, of, rows, privbayes.FormatCSV,
+		privbayes.SynthSeed(seed+1), privbayes.SynthParallelism(par)); err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "wrote %d synthetic rows (%d attributes) to %s under ε=%g\n",
-		syn.N(), syn.D(), out, epsilon)
+		rows, ds.D(), out, epsilon)
 	return nil
 }
 

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
@@ -34,7 +35,7 @@ func TestRunEndToEnd(t *testing.T) {
 	dir := t.TempDir()
 	in := writeInput(t, dir)
 	out := filepath.Join(dir, "out.csv")
-	if err := run(in, out, 1.0, 0.3, 4, 16, 0, 0, 7); err != nil {
+	if err := run(context.Background(), in, out, 1.0, 0.3, 4, 16, 0, 0, 7); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -63,7 +64,7 @@ func TestRunCustomRowCount(t *testing.T) {
 	dir := t.TempDir()
 	in := writeInput(t, dir)
 	out := filepath.Join(dir, "out.csv")
-	if err := run(in, out, 1.0, 0.3, 4, 16, 55, 0, 7); err != nil {
+	if err := run(context.Background(), in, out, 1.0, 0.3, 4, 16, 55, 0, 7); err != nil {
 		t.Fatal(err)
 	}
 	data, _ := os.ReadFile(out)
@@ -74,7 +75,7 @@ func TestRunCustomRowCount(t *testing.T) {
 }
 
 func TestRunMissingInput(t *testing.T) {
-	if err := run("/does/not/exist.csv", "/tmp/x.csv", 1, 0.3, 4, 16, 0, 0, 1); err == nil {
+	if err := run(context.Background(), "/does/not/exist.csv", "/tmp/x.csv", 1, 0.3, 4, 16, 0, 0, 1); err == nil {
 		t.Fatal("missing input must error")
 	}
 }

@@ -20,11 +20,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"privbayes/internal/accountant"
@@ -92,5 +96,29 @@ func run(addr, modelsDir, ledgerPath string, budget float64, workers, reqPar, ma
 		ReadHeaderTimeout: 10 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
-	return hs.Serve(ln)
+
+	// Graceful shutdown: SIGINT/SIGTERM stops accepting connections and
+	// drains in-flight requests for a grace period, then force-closes
+	// the stragglers — closing a connection cancels its request
+	// context, which aborts the fit or stream it was driving and (for
+	// fits) refunds the ledger charge.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		logf("shutting down")
+		grace, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(grace); err != nil {
+			hs.Close()
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
 }

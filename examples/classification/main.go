@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -25,7 +26,8 @@ func main() {
 	// One private release serves all four downstream tasks — no extra
 	// privacy cost per classifier.
 	const eps = 0.8
-	syn, err := privbayes.Synthesize(train, privbayes.Options{Epsilon: eps, Rand: rng})
+	syn, err := privbayes.Synthesize(context.Background(), train,
+		privbayes.WithEpsilon(eps), privbayes.WithSeed(4))
 	if err != nil {
 		panic(err)
 	}

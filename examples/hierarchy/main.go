@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -63,14 +64,15 @@ func main() {
 		if disable {
 			name = "vanilla"
 		}
-		rng := rand.New(rand.NewSource(9))
-		model, err := privbayes.Fit(ds, privbayes.Options{
-			Epsilon: eps, DisableHierarchy: disable, Rand: rng,
-		})
+		model, err := privbayes.Fit(context.Background(), ds,
+			privbayes.WithEpsilon(eps),
+			privbayes.WithHierarchy(!disable),
+			privbayes.WithSeed(9),
+		)
 		if err != nil {
 			panic(err)
 		}
-		syn := model.Sample(ds.N(), rng)
+		syn := model.Sample(ds.N(), rand.New(rand.NewSource(10)))
 		avd := eval.AVD(&baseline.Dataset{DS: syn})
 
 		fmt.Printf("%s encoding (ε = %g):\n", name, eps)

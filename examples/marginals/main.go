@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -24,7 +25,8 @@ func main() {
 	uniform := eval.AVD(&baseline.Uniform{DS: ds})
 	for _, eps := range []float64{0.1, 0.4, 1.6} {
 		rng := rand.New(rand.NewSource(11))
-		syn, err := privbayes.Synthesize(ds, privbayes.Options{Epsilon: eps, Rand: rng})
+		syn, err := privbayes.Synthesize(context.Background(), ds,
+			privbayes.WithEpsilon(eps), privbayes.WithSeed(11))
 		if err != nil {
 			panic(err)
 		}

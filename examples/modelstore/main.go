@@ -7,6 +7,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -22,7 +23,8 @@ func main() {
 	rng := rand.New(rand.NewSource(17))
 
 	const eps = 0.8
-	model, err := privbayes.Fit(ds, privbayes.Options{Epsilon: eps, Rand: rng})
+	model, err := privbayes.Fit(context.Background(), ds,
+		privbayes.WithEpsilon(eps), privbayes.WithSeed(17))
 	if err != nil {
 		panic(err)
 	}

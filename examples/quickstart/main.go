@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -41,10 +42,12 @@ func main() {
 	}
 
 	// One call releases an ε-differentially-private synthetic copy.
-	syn, err := privbayes.Synthesize(ds, privbayes.Options{
-		Epsilon: 1.0,
-		Rand:    rng,
-	})
+	// The context cancels the pipeline (hook it to a signal or deadline
+	// in real services); the seed makes the release replayable.
+	syn, err := privbayes.Synthesize(context.Background(), ds,
+		privbayes.WithEpsilon(1.0),
+		privbayes.WithSeed(7),
+	)
 	if err != nil {
 		panic(err)
 	}

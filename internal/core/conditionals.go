@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -36,10 +37,10 @@ import (
 // pairs' joints come from the parent-configuration indexes the final
 // greedy iterations already built (see materializeJoint).
 func NoisyConditionalsBinary(ds *dataset.Dataset, net Network, k int, eps2 float64, noNoise, consistent bool, parallelism int, rng *rand.Rand) ([]*marginal.Conditional, error) {
-	return noisyConditionalsBinary(ds, net, k, eps2, noNoise, consistent, parallelism, rng, nil)
+	return noisyConditionalsBinary(context.Background(), ds, net, k, eps2, noNoise, consistent, parallelism, rng, nil, nil)
 }
 
-func noisyConditionalsBinary(ds *dataset.Dataset, net Network, k int, eps2 float64, noNoise, consistent bool, parallelism int, rng *rand.Rand, cache *marginal.IndexCache) ([]*marginal.Conditional, error) {
+func noisyConditionalsBinary(ctx context.Context, ds *dataset.Dataset, net Network, k int, eps2 float64, noNoise, consistent bool, parallelism int, rng *rand.Rand, cache *marginal.IndexCache, progress *progressSink) ([]*marginal.Conditional, error) {
 	d := len(net.Pairs)
 	conds := make([]*marginal.Conditional, d)
 	if d == 0 {
@@ -51,9 +52,15 @@ func noisyConditionalsBinary(ds *dataset.Dataset, net Network, k int, eps2 float
 	n := float64(ds.N())
 	scale := 2 * float64(d-k) / (n * eps2)
 
-	joints := parallel.Map(parallel.Workers(parallelism), d-k, func(j int) *marginal.Table {
-		return materializeJoint(ds, net.Pairs[k+j], parallelism, cache)
+	progress.start(PhaseMarginals, d-k)
+	joints, err := parallel.MapCtx(ctx, parallel.Workers(parallelism), d-k, func(j int) *marginal.Table {
+		t := materializeJoint(ds, net.Pairs[k+j], parallelism, cache)
+		progress.unit(PhaseMarginals, d-k)
+		return t
 	})
+	if err != nil {
+		return nil, err
+	}
 	for _, joint := range joints {
 		if !noNoise {
 			joint.AddLaplace(rng, scale)
@@ -134,17 +141,28 @@ func projectOnto(anchor *marginal.Table, pair APPair) (*marginal.Table, error) {
 // keeping the output bit-identical at every parallelism other than 1
 // (see NoisyConditionalsBinary for the contract).
 func NoisyConditionalsGeneral(ds *dataset.Dataset, net Network, eps2 float64, noNoise, consistent bool, parallelism int, rng *rand.Rand) []*marginal.Conditional {
-	return noisyConditionalsGeneral(ds, net, eps2, noNoise, consistent, parallelism, rng, nil)
+	conds, err := noisyConditionalsGeneral(context.Background(), ds, net, eps2, noNoise, consistent, parallelism, rng, nil, nil)
+	if err != nil {
+		// Unreachable: the background context never ends.
+		panic(err)
+	}
+	return conds
 }
 
-func noisyConditionalsGeneral(ds *dataset.Dataset, net Network, eps2 float64, noNoise, consistent bool, parallelism int, rng *rand.Rand, cache *marginal.IndexCache) []*marginal.Conditional {
+func noisyConditionalsGeneral(ctx context.Context, ds *dataset.Dataset, net Network, eps2 float64, noNoise, consistent bool, parallelism int, rng *rand.Rand, cache *marginal.IndexCache, progress *progressSink) ([]*marginal.Conditional, error) {
 	d := len(net.Pairs)
 	conds := make([]*marginal.Conditional, d)
 	n := float64(ds.N())
 	scale := 2 * float64(d) / (n * eps2)
-	joints := parallel.Map(parallel.Workers(parallelism), d, func(i int) *marginal.Table {
-		return materializeJoint(ds, net.Pairs[i], parallelism, cache)
+	progress.start(PhaseMarginals, d)
+	joints, err := parallel.MapCtx(ctx, parallel.Workers(parallelism), d, func(i int) *marginal.Table {
+		t := materializeJoint(ds, net.Pairs[i], parallelism, cache)
+		progress.unit(PhaseMarginals, d)
+		return t
 	})
+	if err != nil {
+		return nil, err
+	}
 	for _, joint := range joints {
 		if !noNoise {
 			joint.AddLaplace(rng, scale)
@@ -157,5 +175,5 @@ func noisyConditionalsGeneral(ds *dataset.Dataset, net Network, eps2 float64, no
 	for i, joint := range joints {
 		conds[i] = marginal.ConditionalFromJoint(joint)
 	}
-	return conds
+	return conds, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -51,6 +52,53 @@ func (m *Model) SampleP(n int, rng *rand.Rand, parallelism int) *dataset.Dataset
 		m.sampleRange(out, lo, hi, rand.New(rand.NewSource(seeds[c])))
 	})
 	return out
+}
+
+// SampleContext is SampleP with cancellation: ctx is checked at every
+// sample-chunk boundary (2048 rows), so a cancelled call stops within
+// one chunk, drains its workers, and returns ctx.Err(). For an
+// uncancelled context the output is byte-identical to SampleP at the
+// same (n, rng state, parallelism) — including the parallelism 1
+// legacy-serial stream, which here runs chunk by chunk on the caller's
+// generator exactly as Sample consumes it.
+func (m *Model) SampleContext(ctx context.Context, n int, rng *rand.Rand, parallelism int) (*dataset.Dataset, error) {
+	return m.sampleContext(ctx, n, rng, parallelism, nil)
+}
+
+// SampleContextProgress is SampleContext with a progress callback:
+// progress (optional) receives PhaseSampling events with Done/Total in
+// rows, delivered serially.
+func (m *Model) SampleContextProgress(ctx context.Context, n int, rng *rand.Rand, parallelism int, progress func(ProgressEvent)) (*dataset.Dataset, error) {
+	return m.sampleContext(ctx, n, rng, parallelism, newProgressSink(progress))
+}
+
+func (m *Model) sampleContext(ctx context.Context, n int, rng *rand.Rand, parallelism int, progress *progressSink) (*dataset.Dataset, error) {
+	progress.start(PhaseSampling, n)
+	if parallelism == 1 {
+		out := dataset.NewWithLen(m.Attrs, n)
+		for lo := 0; lo < n; lo += sampleChunk {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			hi := min(lo+sampleChunk, n)
+			m.sampleRange(out, lo, hi, rng)
+			progress.add(PhaseSampling, hi-lo, n)
+		}
+		return out, nil
+	}
+	workers := parallel.Workers(parallelism)
+	chunks := parallel.Chunks(n, sampleChunk)
+	seeds := parallel.SplitSeeds(rng, chunks)
+	out := dataset.NewWithLen(m.Attrs, n)
+	if err := parallel.ForCtx(ctx, workers, chunks, func(c int) {
+		lo := c * sampleChunk
+		hi := min(lo+sampleChunk, n)
+		m.sampleRange(out, lo, hi, rand.New(rand.NewSource(seeds[c])))
+		progress.add(PhaseSampling, hi-lo, n)
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // sampleRange fills rows [lo, hi) of out by ancestral sampling from rng.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -86,6 +87,11 @@ type Options struct {
 	// marginal.MaterializeP). The learned network structure is
 	// additionally identical between the serial and parallel paths.
 	Parallelism int
+	// Progress, when set, receives one ProgressEvent per completed
+	// pipeline unit (greedy iteration, materialized marginal). Events
+	// are delivered serially — never from two goroutines at once — so
+	// the callback needs no locking; it should return quickly.
+	Progress func(ProgressEvent)
 	// Rand is the randomness source; required.
 	Rand *rand.Rand
 }
@@ -126,6 +132,17 @@ func (o *Options) validate(ds *dataset.Dataset) error {
 // number of synthetic tuples can be sampled without further privacy
 // cost.
 func Fit(ds *dataset.Dataset, opt Options) (*Model, error) {
+	return FitContext(context.Background(), ds, opt)
+}
+
+// FitContext is Fit with cancellation: ctx is threaded through network
+// learning (checked every greedy iteration and between candidate
+// parent-set groups), marginal materialization (between AP-pair
+// joints) and the worker pools underneath, so a cancelled fit stops
+// promptly — within one scoring batch or one joint — releases its
+// workers, and returns ctx.Err(). Cancellation never produces a
+// partial model: the result is either complete or nil.
+func FitContext(ctx context.Context, ds *dataset.Dataset, opt Options) (*Model, error) {
 	if err := opt.validate(ds); err != nil {
 		return nil, err
 	}
@@ -157,6 +174,7 @@ func Fit(ds *dataset.Dataset, opt Options) (*Model, error) {
 		return nil, fmt.Errorf("core: supplied scorer computes %v, options ask for %v", sc.Fn, opt.Score)
 	}
 
+	progress := newProgressSink(opt.Progress)
 	m := &Model{Attrs: append([]dataset.Attribute(nil), ds.Attrs()...), Score: opt.Score, K: -1}
 	switch opt.Mode {
 	case ModeBinary:
@@ -175,17 +193,29 @@ func Fit(ds *dataset.Dataset, opt Options) (*Model, error) {
 		// choice trivial only when d = 1), the paper resets β when no
 		// choice exists; we keep the split, which matches footnote 6's
 		// observation without changing behaviour materially.
-		m.Network = GreedyBayesBinary(ds, k, eps1, sc, opt.Parallelism, opt.Rand)
+		net, err := GreedyBayesBinaryContext(ctx, ds, k, eps1, sc, opt.Parallelism, opt.Rand, progress)
+		if err != nil {
+			return nil, err
+		}
+		m.Network = net
 		// Reuse the parent-configuration indexes the greedy iterations
 		// built: the chosen pairs' joints need only a child-column pass.
-		conds, err := noisyConditionalsBinary(ds, m.Network, k, eps2, opt.InfiniteMarginalBudget, opt.Consistency, opt.Parallelism, opt.Rand, sc.Indexes())
+		conds, err := noisyConditionalsBinary(ctx, ds, m.Network, k, eps2, opt.InfiniteMarginalBudget, opt.Consistency, opt.Parallelism, opt.Rand, sc.Indexes(), progress)
 		if err != nil {
 			return nil, err
 		}
 		m.Conds = conds
 	case ModeGeneral:
-		m.Network = GreedyBayesGeneral(ds, opt.Theta, eps1, eps2, opt.UseHierarchy, sc, opt.Parallelism, opt.Rand)
-		m.Conds = noisyConditionalsGeneral(ds, m.Network, eps2, opt.InfiniteMarginalBudget, opt.Consistency, opt.Parallelism, opt.Rand, sc.Indexes())
+		net, err := GreedyBayesGeneralContext(ctx, ds, opt.Theta, eps1, eps2, opt.UseHierarchy, sc, opt.Parallelism, opt.Rand, progress)
+		if err != nil {
+			return nil, err
+		}
+		m.Network = net
+		conds, err := noisyConditionalsGeneral(ctx, ds, m.Network, eps2, opt.InfiniteMarginalBudget, opt.Consistency, opt.Parallelism, opt.Rand, sc.Indexes(), progress)
+		if err != nil {
+			return nil, err
+		}
+		m.Conds = conds
 	default:
 		return nil, fmt.Errorf("core: unknown mode %d", opt.Mode)
 	}
@@ -199,9 +229,15 @@ func Fit(ds *dataset.Dataset, opt Options) (*Model, error) {
 // dataset of the same cardinality as the input (Section 3). Sampling
 // honours opt.Parallelism (see Model.SampleP).
 func Synthesize(ds *dataset.Dataset, opt Options) (*dataset.Dataset, error) {
-	m, err := Fit(ds, opt)
+	return SynthesizeContext(context.Background(), ds, opt)
+}
+
+// SynthesizeContext is Synthesize with cancellation (see FitContext and
+// Model.SampleContext) and sampling progress.
+func SynthesizeContext(ctx context.Context, ds *dataset.Dataset, opt Options) (*dataset.Dataset, error) {
+	m, err := FitContext(ctx, ds, opt)
 	if err != nil {
 		return nil, err
 	}
-	return m.SampleP(ds.N(), opt.Rand, opt.Parallelism), nil
+	return m.sampleContext(ctx, ds.N(), opt.Rand, opt.Parallelism, newProgressSink(opt.Progress))
 }

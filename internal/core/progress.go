@@ -1,0 +1,102 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Phase identifies one of the pipeline's three stages.
+type Phase int
+
+const (
+	// PhaseNetwork is private network learning (Algorithms 2/4): one
+	// iteration per attribute after the first.
+	PhaseNetwork Phase = iota
+	// PhaseMarginals is private distribution learning (Algorithms 1/3):
+	// one unit per materialized AP-pair joint.
+	PhaseMarginals
+	// PhaseSampling is synthetic data generation: Done/Total count rows.
+	PhaseSampling
+)
+
+// String names the phase for logs and progress bars.
+func (p Phase) String() string {
+	switch p {
+	case PhaseNetwork:
+		return "network"
+	case PhaseMarginals:
+		return "marginals"
+	case PhaseSampling:
+		return "sampling"
+	default:
+		return fmt.Sprintf("Phase(%d)", int(p))
+	}
+}
+
+// ProgressEvent reports pipeline progress: Done of Total units of the
+// given phase have finished. Total is fixed within a phase; an event
+// with Done == Total closes the phase.
+type ProgressEvent struct {
+	Phase Phase
+	Done  int
+	Total int
+}
+
+// progressSink serializes progress emission: pipeline stages that
+// complete units concurrently (marginal materialization, sampling)
+// still invoke the caller's callback one event at a time, and Done
+// counts are monotone per phase — the counter is advanced under the
+// same mutex that delivers the event, so two workers can never publish
+// their increments out of order — so callbacks need no locking of
+// their own.
+type progressSink struct {
+	fn   func(ProgressEvent)
+	mu   sync.Mutex
+	done int
+}
+
+// newProgressSink wraps fn; a nil fn yields a nil sink, and every
+// method on a nil sink is a no-op, so call sites need no guards.
+func newProgressSink(fn func(ProgressEvent)) *progressSink {
+	if fn == nil {
+		return nil
+	}
+	return &progressSink{fn: fn}
+}
+
+// emit reports one event as-is (single-goroutine stages).
+func (p *progressSink) emit(phase Phase, done, total int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.fn(ProgressEvent{Phase: phase, Done: done, Total: total})
+	p.mu.Unlock()
+}
+
+// start opens a phase with Done = 0 and resets the shared counter.
+func (p *progressSink) start(phase Phase, total int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.done = 0
+	p.fn(ProgressEvent{Phase: phase, Done: 0, Total: total})
+	p.mu.Unlock()
+}
+
+// unit records one concurrently completed unit of the phase.
+func (p *progressSink) unit(phase Phase, total int) {
+	p.add(phase, 1, total)
+}
+
+// add records delta concurrently completed units (e.g. sampled rows).
+func (p *progressSink) add(phase Phase, delta, total int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.done += delta
+	p.fn(ProgressEvent{Phase: phase, Done: p.done, Total: total})
+	p.mu.Unlock()
+}

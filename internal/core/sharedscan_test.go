@@ -8,6 +8,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
 	"testing"
 
@@ -50,11 +51,11 @@ func TestNoisyConditionalsCachedBitIdentical(t *testing.T) {
 	sc := score.NewScorer(score.F, ds)
 	net := GreedyBayesBinary(ds, 2, 0.5, sc, 2, rand.New(rand.NewSource(9)))
 	for _, par := range []int{1, 2, 4} {
-		want, err := noisyConditionalsBinary(ds, net, 2, 1.0, false, false, par, rand.New(rand.NewSource(10)), nil)
+		want, err := noisyConditionalsBinary(context.Background(), ds, net, 2, 1.0, false, false, par, rand.New(rand.NewSource(10)), nil, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := noisyConditionalsBinary(ds, net, 2, 1.0, false, false, par, rand.New(rand.NewSource(10)), sc.Indexes())
+		got, err := noisyConditionalsBinary(context.Background(), ds, net, 2, 1.0, false, false, par, rand.New(rand.NewSource(10)), sc.Indexes(), nil)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	crand "crypto/rand"
+	"encoding/binary"
+	"math/rand"
+)
+
+// Source is a seed-based randomness source: an immutable value that
+// derives a fresh deterministic generator per use. It replaces the raw
+// *rand.Rand of the v1 API at every public entry point, for two
+// reasons:
+//
+//   - *rand.Rand is mutable and not concurrency-safe, so sharing one
+//     across requests (the serving workload) is a data race; a Source
+//     is a value — copying it is free and every use is independent.
+//   - A Source records the seed it was built from (Seed), so any run
+//     can be replayed exactly: fitting or synthesizing twice from the
+//     same Source yields bit-identical output.
+//
+// The zero Source is "unset"; entry points treat it as "draw a fresh
+// cryptographic seed" (CryptoSource) for that run. A seed drawn this
+// way is internal to the run — callers that want to replay a run after
+// the fact should pre-draw src := CryptoSource(), log src.Seed(), and
+// pass the source explicitly (privbayesd does exactly this and echoes
+// the seed in X-Privbayes-Seed).
+type Source struct {
+	seed int64
+	set  bool
+}
+
+// NewSource returns a deterministic Source for the given seed.
+// Equivalent v1 randomness: rand.New(rand.NewSource(seed)).
+func NewSource(seed int64) Source { return Source{seed: seed, set: true} }
+
+// CryptoSource returns a Source whose seed was drawn from the
+// operating system's cryptographic randomness — the default for
+// callers that did not ask for a specific seed. The result is still a
+// plain seed-based Source: read Seed to log or replay the run.
+func CryptoSource() Source {
+	var b [8]byte
+	// crypto/rand.Read never fails on supported platforms (it panics
+	// irrecoverably if the kernel source is unavailable).
+	crand.Read(b[:])
+	return NewSource(int64(binary.LittleEndian.Uint64(b[:])))
+}
+
+// Seed returns the seed this source replays from.
+func (s Source) Seed() int64 { return s.seed }
+
+// IsZero reports whether the source is the unset zero value.
+func (s Source) IsZero() bool { return !s.set }
+
+// Rand derives a fresh generator positioned at the start of the
+// source's stream. Every call returns an independent *rand.Rand with
+// identical output, so concurrent users never share mutable state.
+func (s Source) Rand() *rand.Rand { return rand.New(rand.NewSource(s.seed)) }
+
+// orCrypto resolves an unset source to a fresh cryptographic one.
+func (s Source) orCrypto() Source {
+	if s.IsZero() {
+		return CryptoSource()
+	}
+	return s
+}

@@ -1,35 +1,36 @@
-package server
+package dataset
 
 import (
 	"bytes"
 	"encoding/json"
 	"io"
 	"strconv"
-
-	"privbayes/internal/dataset"
 )
 
-// jsonlWriter streams synthetic rows as newline-delimited JSON objects,
-// one per row, keys in schema order. Attribute names and categorical
-// labels are JSON-escaped once up front, so the per-row loop only
-// copies bytes; continuous attributes decode to their bin centers as
-// JSON numbers.
-type jsonlWriter struct {
+// JSONLWriter streams rows as newline-delimited JSON objects, one per
+// row, keys in schema order. Attribute names and categorical labels are
+// JSON-escaped once up front, so the per-row loop only copies bytes;
+// continuous attributes decode to their bin centers as JSON numbers.
+// It is the JSONL counterpart of WriteCSVRows: both the synthesis
+// server and Model.SynthesizeTo emit large responses as a sequence of
+// small chunk datasets through one long-lived writer.
+type JSONLWriter struct {
 	w       io.Writer
-	attrs   []dataset.Attribute
+	attrs   []Attribute
 	names   [][]byte   // `"name":` per attribute
 	labels  [][][]byte // escaped label per categorical code; nil for continuous
 	buf     bytes.Buffer
 	scratch []byte // float-formatting scratch, reused across cells
 }
 
-func newJSONLWriter(w io.Writer, attrs []dataset.Attribute) *jsonlWriter {
-	jw := &jsonlWriter{w: w, attrs: attrs, names: make([][]byte, len(attrs)), labels: make([][][]byte, len(attrs))}
+// NewJSONLWriter prepares a writer for the given schema.
+func NewJSONLWriter(w io.Writer, attrs []Attribute) *JSONLWriter {
+	jw := &JSONLWriter{w: w, attrs: attrs, names: make([][]byte, len(attrs)), labels: make([][][]byte, len(attrs))}
 	for i := range attrs {
 		a := &attrs[i]
 		name, _ := json.Marshal(a.Name)
 		jw.names[i] = append(name, ':')
-		if a.Kind == dataset.Categorical {
+		if a.Kind == Categorical {
 			codes := make([][]byte, a.Size())
 			for c := range codes {
 				codes[c], _ = json.Marshal(a.Label(c))
@@ -40,10 +41,10 @@ func newJSONLWriter(w io.Writer, attrs []dataset.Attribute) *jsonlWriter {
 	return jw
 }
 
-// writeRows renders rows [lo, hi) of d and flushes them to the
+// WriteRows renders rows [lo, hi) of d and flushes them to the
 // underlying writer in one Write, so each chunk is one syscall-sized
 // burst to the client.
-func (jw *jsonlWriter) writeRows(d *dataset.Dataset, lo, hi int) error {
+func (jw *JSONLWriter) WriteRows(d *Dataset, lo, hi int) error {
 	jw.buf.Reset()
 	for r := lo; r < hi; r++ {
 		jw.buf.WriteByte('{')

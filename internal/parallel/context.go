@@ -1,0 +1,89 @@
+package parallel
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// Context-aware variants of the pool primitives. They run the same
+// deterministic fan-out as For/Map — unit indexing and ordered
+// reduction are identical, so for an uncancelled context the results
+// are bit-identical to the ctx-free primitives —
+// but stop claiming new units as soon as ctx is done and return
+// ctx.Err().
+//
+// Teardown contract: every variant blocks until all of its worker
+// goroutines have exited before returning, so a cancelled call never
+// leaks goroutines and never leaves fn running concurrently with the
+// caller's error handling. Units already started when cancellation
+// fires run to completion (fn is not interrupted mid-unit); choose unit
+// sizes so that a single unit is an acceptable cancellation latency.
+
+// ForCtx runs fn(i) for every i in [0, n) on up to workers goroutines.
+// When ctx ends early it stops dispatching further indices, waits for
+// in-flight calls to finish, and returns ctx.Err(); otherwise it
+// behaves exactly like For and returns nil.
+func ForCtx(ctx context.Context, workers, n int, fn func(i int)) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	done := ctx.Done()
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+			}
+			fn(i)
+		}
+		return nil
+	}
+	var next, completed atomic.Int64
+	var wg sync.WaitGroup
+	pc := panicCatcher{}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer pc.catch()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+				completed.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	pc.repanic()
+	// A cancellation that fires after the last unit already ran did not
+	// lose any work; report success so callers keep complete results.
+	if int(completed.Load()) == n {
+		return nil
+	}
+	return ctx.Err()
+}
+
+// MapCtx runs fn across [0, n) like Map, stopping early when ctx ends.
+// On cancellation the partial results are discarded and only ctx.Err()
+// is returned; a nil error guarantees every slot was computed, in index
+// order.
+func MapCtx[T any](ctx context.Context, workers, n int, fn func(i int) T) ([]T, error) {
+	out := make([]T, n)
+	if err := ForCtx(ctx, workers, n, func(i int) { out[i] = fn(i) }); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

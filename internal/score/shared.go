@@ -18,6 +18,8 @@ package score
 // making the serial path itself several times faster.
 
 import (
+	"context"
+
 	"privbayes/internal/infotheory"
 	"privbayes/internal/marginal"
 	"privbayes/internal/parallel"
@@ -51,16 +53,32 @@ type batchGroup struct {
 // fans out over parent-set groups, and over row chunks within a group
 // when there are fewer groups than workers (<= 0 selects GOMAXPROCS).
 func (s *Scorer) ScoreBatch(parallelism int, pairs []Pair) []float64 {
+	out, err := s.ScoreBatchContext(context.Background(), parallelism, pairs)
+	if err != nil {
+		// Unreachable: the background context never ends.
+		panic(err)
+	}
+	return out
+}
+
+// ScoreBatchContext is ScoreBatch with cancellation: when ctx ends it
+// stops dispatching parent-set groups, discards the partial batch
+// (nothing is memoized) and returns ctx.Err(). A nil error guarantees
+// the full, bit-identical result vector.
+func (s *Scorer) ScoreBatchContext(ctx context.Context, parallelism int, pairs []Pair) ([]float64, error) {
 	out := make([]float64, len(pairs))
 	if len(pairs) == 0 {
-		return out
+		return out, nil
 	}
 	if s.ds.N() == 0 {
 		// Degenerate dataset: the legacy path's uniform-table semantics.
 		for i, p := range pairs {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			out[i] = s.Score(p.X, p.Parents)
 		}
-		return out
+		return out, nil
 	}
 
 	groups, works := s.planBatch(pairs, out)
@@ -70,9 +88,11 @@ func (s *Scorer) ScoreBatch(parallelism int, pairs []Pair) []float64 {
 		if inner < 1 {
 			inner = 1
 		}
-		parallel.For(workers, len(groups), func(gi int) {
+		if err := parallel.ForCtx(ctx, workers, len(groups), func(gi int) {
 			s.scoreGroup(groups[gi], inner)
-		})
+		}); err != nil {
+			return nil, err
+		}
 
 		s.mu.Lock()
 		for _, w := range works {
@@ -85,7 +105,7 @@ func (s *Scorer) ScoreBatch(parallelism int, pairs []Pair) []float64 {
 			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 // planBatch resolves memo hits into out and partitions the remaining

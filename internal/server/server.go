@@ -428,14 +428,14 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 	flusher, _ := w.(http.Flusher)
 	rng := rand.New(rand.NewSource(seed))
 	var cw *csv.Writer
-	var jw *jsonlWriter
+	var jw *dataset.JSONLWriter
 	if p.Format == "csv" {
 		cw = csv.NewWriter(w)
 		if err := cw.Write(dataset.New(model.Attrs).CSVHeader()); err != nil {
 			return
 		}
 	} else {
-		jw = newJSONLWriter(w, model.Attrs)
+		jw = dataset.NewJSONLWriter(w, model.Attrs)
 	}
 
 	ctx := r.Context()
@@ -449,13 +449,14 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 		// Parallelism 1 selects the sampler's serial legacy stream,
 		// which draws different tuples than the chunked scheme; pin the
 		// chunked path so the response never depends on how many
-		// workers the budget could spare.
+		// workers the budget could spare. The request context cancels
+		// generation mid-chunk (every 2048 rows), so a disconnected
+		// client stops costing CPU within one sample chunk.
 		eff := max(got, 2)
-		chunk := model.SampleP(rows, rng, eff)
+		chunk, err := model.SampleContext(ctx, rows, rng, eff)
 		release()
-
-		if ctx.Err() != nil {
-			return
+		if err != nil {
+			return // client gone mid-generation
 		}
 		if p.Format == "csv" {
 			if err := chunk.WriteCSVRows(cw, 0, rows); err != nil {
@@ -466,7 +467,7 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 		} else {
-			if err := jw.writeRows(chunk, 0, rows); err != nil {
+			if err := jw.WriteRows(chunk, 0, rows); err != nil {
 				return
 			}
 		}
@@ -704,15 +705,21 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 		refund()
 		return
 	}
-	model, err := privbayes.Fit(ds, privbayes.Options{
-		Epsilon:     epsilon,
-		Parallelism: max(got, 2), // stay on the worker-count-independent paths
-		Rand:        rand.New(rand.NewSource(seed)),
-	})
+	// The request context cancels the fit: when the client disconnects
+	// mid-fit, the greedy loop stops within one scoring batch instead
+	// of running to completion server-side, and the error path below
+	// refunds the ledger — an abandoned fit releases nothing, so it
+	// must cost nothing.
+	model, err := privbayes.Fit(r.Context(), ds,
+		privbayes.WithEpsilon(epsilon),
+		privbayes.WithSeed(seed),
+		privbayes.WithParallelism(max(got, 2)), // stay on the worker-count-independent paths
+	)
 	release()
 	if err != nil {
-		// The failed fit released nothing observable, so the budget
-		// charge is returned (sequential composition meters releases).
+		// The failed (or cancelled) fit released nothing observable, so
+		// the budget charge is returned (sequential composition meters
+		// releases).
 		refund()
 		writeError(w, http.StatusBadRequest, "fit: %v", err)
 		return

@@ -57,9 +57,8 @@ func testData(n int, seed int64) *dataset.Dataset {
 // fitTestModel fits one deterministic model for the fixtures.
 func fitTestModel(t testing.TB) *core.Model {
 	t.Helper()
-	m, err := privbayes.Fit(testData(3000, 7), privbayes.Options{
-		Epsilon: 1.0, Rand: rand.New(rand.NewSource(11)),
-	})
+	m, err := privbayes.Fit(context.Background(), testData(3000, 7),
+		privbayes.WithEpsilon(1.0), privbayes.WithSeed(11))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -525,6 +524,71 @@ func TestFitCuratorMode(t *testing.T) {
 	}
 	if e := ledger.Get("survey"); math.Abs(e.Spent-0.6) > 1e-12 {
 		t.Errorf("failed fit not refunded: %+v", e)
+	}
+}
+
+// TestFitCancelledClientRefundsLedger: a client that disconnects while
+// its curator-mode fit is running must not be charged — the request
+// context aborts the greedy loop promptly and the handler refunds the
+// ε it metered up front. The fixture fit takes seconds uncancelled
+// (binary d=16, n=100k selects a high degree), so the cancellation
+// demonstrably lands mid-fit, and the refund poll doubles as a
+// promptness check.
+func TestFitCancelledClientRefundsLedger(t *testing.T) {
+	ledger := accountant.New(10.0)
+	_, c, _ := newTestServer(t, Config{Ledger: ledger})
+
+	attrs := make([]dataset.Attribute, 16)
+	for i := range attrs {
+		attrs[i] = dataset.NewCategorical(string(rune('a'+i)), []string{"0", "1"})
+	}
+	ds := dataset.NewWithCapacity(attrs, 100_000)
+	rec := make([]uint16, len(attrs))
+	for r := 0; r < 100_000; r++ {
+		for col := range rec {
+			rec[col] = uint16((r*(col+3) + col*r/7 + r/11) % 2)
+		}
+		ds.Append(rec)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	seed := int64(5)
+	errc := make(chan error, 1)
+	go func() {
+		_, err := c.Fit(ctx, FitRequest{
+			DatasetID: "cancelme", Epsilon: 0.3, Seed: &seed,
+			Schema: SpecsFromAttrs(attrs), Data: bytes.NewReader(fitCSV(t, ds)),
+		})
+		errc <- err
+	}()
+
+	// The handler charges before touching a row; once the spend is
+	// visible, give the upload time to finish parsing so the fit is
+	// underway, then kill the client.
+	deadline := time.Now().Add(20 * time.Second)
+	for ledger.Get("cancelme").Spent == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("fit never charged the ledger")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	time.Sleep(500 * time.Millisecond)
+	cancel()
+
+	if err := <-errc; err == nil {
+		t.Fatal("cancelled fit reported success to the client")
+	}
+	refundBy := time.Now().Add(10 * time.Second)
+	for ledger.Get("cancelme").Spent != 0 {
+		if time.Now().After(refundBy) {
+			t.Fatalf("cancelled fit never refunded: %+v", ledger.Get("cancelme"))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Nothing half-fitted may serve.
+	if _, err := c.Model(context.Background(), "cancelme-fit-1"); err == nil {
+		t.Error("cancelled fit registered a model")
 	}
 }
 

@@ -1,0 +1,119 @@
+package privbayes
+
+import (
+	"errors"
+	"math/rand"
+
+	"privbayes/internal/core"
+)
+
+// Options is the v1 configuration struct, retained for the deprecated
+// FitV1/SynthesizeV1 shims. New code should use the context-first
+// functional-options API (Fit, Synthesize, NewFitter, NewSession).
+//
+// Differences from earlier revisions: the ScoreSet bool hack is gone —
+// Score's zero value is now ScoreAuto, which is what an unset Score
+// always meant — and Rand remains required here (the v2 API replaces
+// it with the seed-based Source).
+//
+// Deprecated: use Fit(ctx, ds, opts...) / Synthesize(ctx, ds, opts...).
+type Options struct {
+	// Epsilon is the total differential-privacy budget.
+	Epsilon float64
+	// Beta splits the budget between network learning (βε) and
+	// distribution learning ((1−β)ε). 0 means DefaultBeta.
+	Beta float64
+	// Theta is the θ-usefulness threshold steering model capacity.
+	// 0 means DefaultTheta.
+	Theta float64
+	// Score selects the score function; the zero value ScoreAuto picks
+	// the paper's recommendation for the data.
+	Score ScoreFunction
+	// Degree forces the network degree k on all-binary data; <= 0
+	// selects k by θ-usefulness.
+	Degree int
+	// DisableHierarchy turns off taxonomy-tree generalization even when
+	// attributes define hierarchies (the paper's "vanilla" encoding).
+	DisableHierarchy bool
+	// Consistency enables the mutual-consistency post-processing of the
+	// noisy marginals (footnote 1 of the paper); costs no privacy.
+	Consistency bool
+	// Parallelism bounds the worker pool; <= 0 uses all CPU cores, 1
+	// forces the serial code paths (see WithParallelism).
+	Parallelism int
+	// ScorerCacheSize bounds the score memo built during Fit (see
+	// WithScorerCache). <= 0 keeps it unbounded.
+	ScorerCacheSize int
+	// Rand is the randomness source; required.
+	Rand *rand.Rand
+}
+
+// toConfig maps the v1 struct onto the v2 option set — the only place
+// zero-value sniffing survives, as the shim's documented compatibility
+// mapping (Beta/Theta 0 → the defaults, Score zero → auto).
+func (o Options) toConfig() (config, error) {
+	if o.Rand == nil {
+		return config{}, errors.New("privbayes: Options.Rand is required")
+	}
+	c := defaultConfig()
+	c.epsilon, c.epsilonSet = o.Epsilon, true
+	if o.Beta != 0 {
+		c.beta = o.Beta
+	}
+	if o.Theta != 0 {
+		c.theta = o.Theta
+	}
+	c.score = o.Score
+	c.degree = o.Degree
+	c.hierarchy = !o.DisableHierarchy
+	c.consistency = o.Consistency
+	c.parallelism = o.Parallelism
+	c.cacheSize = o.ScorerCacheSize
+	return c, nil
+}
+
+// toCoreV1 resolves the v1 struct for ds, keeping o.Rand as the
+// generator so shim output is byte-identical to the v1 releases.
+func (o Options) toCoreV1(ds *Dataset) (core.Options, error) {
+	c, err := o.toConfig()
+	if err != nil {
+		return core.Options{}, err
+	}
+	// A placeholder seed satisfies toCore's source resolution; the v1
+	// generator then replaces it wholesale.
+	c.source = NewSource(0)
+	opt, err := c.toCore(ds)
+	if err != nil {
+		return core.Options{}, err
+	}
+	opt.Rand = o.Rand
+	return opt, nil
+}
+
+// FitV1 is the v1 fitting entry point: no context, raw *rand.Rand,
+// struct options. It is a thin shim over the v2 pipeline with
+// bit-identical output for a fixed o.Rand state.
+//
+// Deprecated: use Fit(ctx, ds, opts...).
+func FitV1(ds *Dataset, o Options) (*Model, error) {
+	opt, err := o.toCoreV1(ds)
+	if err != nil {
+		return nil, err
+	}
+	return core.Fit(ds, opt)
+}
+
+// SynthesizeV1 is the v1 fit-and-sample entry point: it fits a model
+// and samples a synthetic dataset with the same number of rows as the
+// input, consuming o.Rand across both phases exactly as v1 did, so
+// output is byte-identical for a fixed seed.
+//
+// Deprecated: use Synthesize(ctx, ds, opts...), or fit once and stream
+// with Model.Synthesize / Model.SynthesizeTo.
+func SynthesizeV1(ds *Dataset, o Options) (*Dataset, error) {
+	m, err := FitV1(ds, o)
+	if err != nil {
+		return nil, err
+	}
+	return m.SampleP(ds.N(), o.Rand, o.Parallelism), nil
+}

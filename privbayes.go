@@ -10,7 +10,7 @@
 // the noisy model. The released data satisfies ε-differential privacy
 // end to end and supports arbitrary downstream workloads.
 //
-// Quick start:
+// Quick start (the context-first v2 API):
 //
 //	attrs := []privbayes.Attribute{
 //		privbayes.NewCategorical("color", []string{"red", "green", "blue"}),
@@ -18,10 +18,22 @@
 //	}
 //	ds := privbayes.NewDataset(attrs)
 //	// ... ds.Append(record) for each row ...
-//	syn, err := privbayes.Synthesize(ds, privbayes.Options{
-//		Epsilon: 1.0,
-//		Rand:    rand.New(rand.NewSource(1)),
-//	})
+//	model, err := privbayes.Fit(ctx, ds,
+//		privbayes.WithEpsilon(1.0),
+//		privbayes.WithSeed(1), // omit for a crypto-drawn seed
+//	)
+//	// Stream any number of synthetic rows; no further privacy cost.
+//	for row, err := range model.Synthesize(ctx, 100_000, privbayes.SynthSeed(2)) {
+//		...
+//	}
+//
+// Every entry point takes a context.Context and cancels promptly;
+// randomness comes from immutable seed-based Sources rather than a
+// shared *rand.Rand; options are functional (WithEpsilon, WithBeta,
+// WithScore, WithParallelism, WithProgress, ...). Fitter bundles
+// options for reuse, and Session additionally shares score caches
+// across repeated fits of one dataset. The v1 entry points survive as
+// the deprecated FitV1/SynthesizeV1 shims with bit-identical output.
 //
 // The exported types alias the internal implementation packages, so the
 // whole pipeline — datasets, taxonomy hierarchies, fitted models — is
@@ -29,13 +41,10 @@
 package privbayes
 
 import (
-	"errors"
 	"io"
-	"math/rand"
 
 	"privbayes/internal/core"
 	"privbayes/internal/dataset"
-	"privbayes/internal/score"
 )
 
 // Dataset is a column-oriented table of encoded records.
@@ -60,7 +69,8 @@ const (
 
 // Model is a fitted PrivBayes model: the private Bayesian network plus
 // its noisy conditional distributions. Sampling from a Model incurs no
-// further privacy cost.
+// further privacy cost, whether materialized (Sample, SampleP,
+// SampleContext) or streamed (Synthesize, SynthesizeTo).
 type Model = core.Model
 
 // ModelInfo is a serializable summary of a fitted model — schema,
@@ -83,17 +93,6 @@ type PairInfo = core.PairInfo
 // input from internal faults.
 var ErrInvalidModel = core.ErrInvalidModel
 
-// ScoreFunction selects the exponential-mechanism score.
-type ScoreFunction = score.Function
-
-// Score function choices. The paper recommends F for all-binary data
-// and R otherwise; mutual information I is included as the baseline.
-const (
-	ScoreMI = score.MI
-	ScoreF  = score.F
-	ScoreR  = score.R
-)
-
 // NewDataset creates an empty dataset with the given schema.
 func NewDataset(attrs []Attribute) *Dataset { return dataset.New(attrs) }
 
@@ -112,115 +111,6 @@ func NewContinuous(name string, min, max float64, bins int) Attribute {
 // maps; see dataset.NewHierarchy.
 func NewHierarchy(rawSize int, maps ...[]int) *Hierarchy {
 	return dataset.NewHierarchy(rawSize, maps...)
-}
-
-// Options configures Fit and Synthesize. Only Epsilon and Rand are
-// required; everything else defaults to the paper's recommendations
-// (β = 0.3, θ = 4, score R with hierarchical generalization, or score F
-// with the binary pipeline when every attribute is binary).
-type Options struct {
-	// Epsilon is the total differential-privacy budget.
-	Epsilon float64
-	// Beta splits the budget between network learning (βε) and
-	// distribution learning ((1−β)ε). Default 0.3.
-	Beta float64
-	// Theta is the θ-usefulness threshold steering model capacity.
-	// Default 4.
-	Theta float64
-	// Score overrides the automatic score-function choice.
-	Score ScoreFunction
-	// scoreSet tracks whether Score was set explicitly.
-	ScoreSet bool
-	// Degree forces the network degree k on all-binary data; negative
-	// or zero selects k by θ-usefulness.
-	Degree int
-	// DisableHierarchy turns off taxonomy-tree generalization even when
-	// attributes define hierarchies (the paper's "vanilla" encoding).
-	DisableHierarchy bool
-	// Consistency enables the mutual-consistency post-processing of the
-	// noisy marginals (footnote 1 of the paper); costs no privacy.
-	Consistency bool
-	// Parallelism bounds the worker pool for candidate scoring, marginal
-	// counting and sampling. <= 0 (the default) uses all CPU cores; 1
-	// forces the serial code paths. For a fixed seed, Fit and
-	// Synthesize output is bit-identical at every parallelism other
-	// than 1, on any machine; 1 reproduces the pre-engine serial
-	// implementation byte for byte.
-	Parallelism int
-	// ScorerCacheSize bounds the score memo built during Fit: at most
-	// this many scored (X, Π) pairs are retained, evicted least-recently
-	// used. <= 0 (the default) keeps the memo unbounded. Useful for
-	// long-running services fitting many models, where an unbounded memo
-	// would grow without limit; eviction never changes results.
-	ScorerCacheSize int
-	// Rand is the randomness source; required.
-	Rand *rand.Rand
-}
-
-func (o Options) toCore(ds *Dataset) (core.Options, error) {
-	if o.Rand == nil {
-		return core.Options{}, errors.New("privbayes: Options.Rand is required")
-	}
-	opt := core.Options{
-		Epsilon:         o.Epsilon,
-		Beta:            o.Beta,
-		Theta:           o.Theta,
-		K:               -1,
-		Consistency:     o.Consistency,
-		Parallelism:     o.Parallelism,
-		ScorerCacheSize: o.ScorerCacheSize,
-		Rand:            o.Rand,
-	}
-	if opt.Beta == 0 {
-		opt.Beta = 0.3
-	}
-	if opt.Theta == 0 {
-		opt.Theta = 4
-	}
-	binary := true
-	for i := 0; i < ds.D(); i++ {
-		if ds.Attr(i).Size() != 2 {
-			binary = false
-			break
-		}
-	}
-	if binary {
-		opt.Mode = core.ModeBinary
-		opt.Score = score.F
-		if o.Degree > 0 {
-			opt.K = o.Degree
-		}
-	} else {
-		opt.Mode = core.ModeGeneral
-		opt.Score = score.R
-		opt.UseHierarchy = !o.DisableHierarchy
-	}
-	if o.ScoreSet {
-		opt.Score = o.Score
-	}
-	return opt, nil
-}
-
-// Fit learns a PrivBayes model from the dataset under ε-differential
-// privacy.
-func Fit(ds *Dataset, o Options) (*Model, error) {
-	opt, err := o.toCore(ds)
-	if err != nil {
-		return nil, err
-	}
-	return core.Fit(ds, opt)
-}
-
-// Synthesize fits a model and samples a synthetic dataset with the same
-// number of rows as the input. The combined release satisfies
-// ε-differential privacy (Theorem 3.2 of the paper). Both phases honour
-// o.Parallelism.
-func Synthesize(ds *Dataset, o Options) (*Dataset, error) {
-	m, err := Fit(ds, o)
-	if err != nil {
-		return nil, err
-	}
-	return m.SampleP(ds.N(), o.Rand, o.Parallelism), nil
 }
 
 // SaveModel persists a fitted model as JSON. Only the noisy model is

@@ -1,0 +1,54 @@
+package privbayes
+
+import "privbayes/internal/core"
+
+// Streaming synthesis: a fitted Model streams any number of synthetic
+// rows in bounded memory, either as a Go iterator —
+//
+//	for row, err := range model.Synthesize(ctx, 1_000_000, privbayes.SynthSeed(7)) {
+//		if err != nil { ... }
+//		use(row) // row[i] is the code of attribute i
+//	}
+//
+// — or encoded straight to a writer:
+//
+//	err := model.SynthesizeTo(ctx, w, 1_000_000, privbayes.FormatCSV, privbayes.SynthSeed(7))
+//
+// Rows are generated in bounded chunks through the same
+// worker-count-independent scheme privbayesd serves with, so for a
+// fixed (model, n, seed) a stream is byte-identical to one monolithic
+// SampleP call — and to the daemon's /synthesize response.
+
+// Row is one streamed synthetic record: one attribute code per column,
+// in schema order. Decode with Model.AppendRowText or the Attribute
+// accessors.
+type Row = core.Row
+
+// SynthOption configures Model.Synthesize and Model.SynthesizeTo.
+type SynthOption = core.SynthOption
+
+// Format selects the wire encoding of Model.SynthesizeTo.
+type Format = core.Format
+
+// Wire encodings.
+const (
+	// FormatCSV emits a header row then one decoded CSV row per record.
+	FormatCSV = core.FormatCSV
+	// FormatJSONL emits one JSON object per record, no header.
+	FormatJSONL = core.FormatJSONL
+)
+
+// SynthSeed fixes the stream's seed for deterministic replay.
+func SynthSeed(seed int64) SynthOption { return core.SynthSeed(seed) }
+
+// SynthSource sets the stream's randomness source; the default draws a
+// cryptographic seed.
+func SynthSource(src Source) SynthOption { return core.SynthSource(src) }
+
+// SynthParallelism bounds the sampling workers per generated chunk;
+// the streamed bytes are identical at every setting.
+func SynthParallelism(p int) SynthOption { return core.SynthParallelism(p) }
+
+// SynthProgress registers a callback receiving PhaseSampling events
+// (Done/Total in rows) as the stream advances.
+func SynthProgress(fn func(Progress)) SynthOption { return core.SynthProgress(fn) }

@@ -1,0 +1,149 @@
+package privbayes
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"testing"
+)
+
+// modelBytes serializes a model for byte-for-byte comparison.
+func modelBytes(t *testing.T, m *Model) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := SaveModel(&buf, m, 1); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// datasetsEqual compares two datasets cell by cell.
+func datasetsEqual(a, b *Dataset) bool {
+	if a.N() != b.N() || a.D() != b.D() {
+		return false
+	}
+	for c := 0; c < a.D(); c++ {
+		for r := 0; r < a.N(); r++ {
+			if a.Value(r, c) != b.Value(r, c) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestV1ShimFitEquivalence: the deprecated FitV1 shim and the v2 Fit
+// produce byte-identical models for the same seed and options, on both
+// the general and the all-binary pipeline — the legacy surface is a
+// thin mapping, not a fork.
+func TestV1ShimFitEquivalence(t *testing.T) {
+	general := toyData(4000, 70)
+	binary := NewDataset([]Attribute{
+		NewCategorical("a", []string{"0", "1"}),
+		NewCategorical("b", []string{"0", "1"}),
+		NewCategorical("c", []string{"0", "1"}),
+		NewCategorical("d", []string{"0", "1"}),
+	})
+	rng := rand.New(rand.NewSource(71))
+	for i := 0; i < 4000; i++ {
+		a := rng.Intn(2)
+		binary.Append([]uint16{uint16(a), uint16(rng.Intn(2)), uint16(a), uint16(rng.Intn(2))})
+	}
+
+	cases := []struct {
+		name string
+		ds   *Dataset
+		v1   Options
+		v2   []Option
+	}{
+		{
+			"general defaults", general,
+			Options{Epsilon: 1},
+			[]Option{WithEpsilon(1)},
+		},
+		{
+			"general tuned", general,
+			Options{Epsilon: 0.5, Beta: 0.4, Theta: 3, Consistency: true, Parallelism: 2, ScorerCacheSize: 64},
+			[]Option{WithEpsilon(0.5), WithBeta(0.4), WithTheta(3), WithConsistency(true), WithParallelism(2), WithScorerCache(64)},
+		},
+		{
+			"general explicit MI", general,
+			Options{Epsilon: 1, Score: ScoreMI},
+			[]Option{WithEpsilon(1), WithScore(ScoreMI)},
+		},
+		{
+			"general no hierarchy", general,
+			Options{Epsilon: 1, DisableHierarchy: true},
+			[]Option{WithEpsilon(1), WithHierarchy(false)},
+		},
+		{
+			"binary defaults", binary,
+			Options{Epsilon: 1},
+			[]Option{WithEpsilon(1)},
+		},
+		{
+			"binary forced degree", binary,
+			Options{Epsilon: 1, Degree: 2},
+			[]Option{WithEpsilon(1), WithDegree(2)},
+		},
+	}
+	for _, tc := range cases {
+		const seed = 77
+		tc.v1.Rand = rand.New(rand.NewSource(seed))
+		v1m, err := FitV1(tc.ds, tc.v1)
+		if err != nil {
+			t.Fatalf("%s: v1: %v", tc.name, err)
+		}
+		v2m, err := Fit(context.Background(), tc.ds, append(tc.v2, WithSeed(seed))...)
+		if err != nil {
+			t.Fatalf("%s: v2: %v", tc.name, err)
+		}
+		if !bytes.Equal(modelBytes(t, v1m), modelBytes(t, v2m)) {
+			t.Errorf("%s: v1 and v2 models differ for seed %d", tc.name, seed)
+		}
+	}
+}
+
+// TestV1ShimSynthesizeEquivalence: SynthesizeV1 and the v2 Synthesize
+// consume their generator identically across fit and sampling, so the
+// released datasets match cell for cell — at the serial path
+// (Parallelism 1) and the chunked path alike.
+func TestV1ShimSynthesizeEquivalence(t *testing.T) {
+	ds := toyData(5000, 80)
+	for _, par := range []int{0, 1, 2} {
+		const seed = 81
+		v1, err := SynthesizeV1(ds, Options{Epsilon: 1, Parallelism: par, Rand: rand.New(rand.NewSource(seed))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		v2, err := Synthesize(context.Background(), ds,
+			WithEpsilon(1), WithParallelism(par), WithSeed(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !datasetsEqual(v1, v2) {
+			t.Errorf("parallelism %d: v1 and v2 synthetic datasets differ", par)
+		}
+	}
+}
+
+// TestV1ShimRequiresRand preserves the v1 contract.
+func TestV1ShimRequiresRand(t *testing.T) {
+	ds := toyData(100, 82)
+	if _, err := FitV1(ds, Options{Epsilon: 1}); err == nil {
+		t.Fatal("missing Rand must error")
+	}
+}
+
+// TestV1ShimScoreZeroValueIsAuto: with ScoreSet gone, an unset Score
+// means automatic selection — the behaviour unset always had.
+func TestV1ShimScoreZeroValueIsAuto(t *testing.T) {
+	ds := toyData(500, 83)
+	m, err := FitV1(ds, Options{Epsilon: 1, Rand: rand.New(rand.NewSource(84))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ModelScore(m) != ScoreR {
+		t.Errorf("unset Score on general data = %v, want R", ModelScore(m))
+	}
+}
