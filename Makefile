@@ -4,7 +4,14 @@
 GO ?= go
 
 .PHONY: all build test race bench bench-json serve lint cover fmt \
-	apicheck api-baseline examples
+	apicheck api-baseline examples quality fuzz
+
+# Minimum total statement coverage accepted by `make cover` (percent).
+COVER_FLOOR ?= 70
+
+# Per-target budget for `make fuzz`. CI smoke uses the default; the
+# nightly workflow raises it.
+FUZZTIME ?= 10s
 
 all: build test
 
@@ -33,17 +40,39 @@ bench:
 # writes rows/s per configuration to BENCH_serving.json.
 # Each bench run lands in a temp file first so a benchmark failure fails
 # the target instead of being masked by the pipe into the converter.
+# bench-json also refreshes BENCH_quality.json, but without the
+# threshold gate (-check=false): artifact generation must not fail on a
+# quality regression — the dedicated `quality` target / CI job owns the
+# gating.
 bench-json:
+	$(GO) run ./cmd/quality -check=false -out BENCH_quality.json
 	$(GO) test -run NONE -bench 'BenchmarkScoreBatch(Shared|Legacy)$$' \
 		-benchtime 1s ./internal/score > bench_scoring.out
-	$(GO) run ./cmd/benchjson < bench_scoring.out > BENCH_scoring.json
+	$(GO) run ./cmd/benchjson -in bench_scoring.out > BENCH_scoring.json
 	@rm -f bench_scoring.out
 	@cat BENCH_scoring.json
 	$(GO) test -run NONE -bench 'BenchmarkServeSynthesize' \
 		-benchtime 1s ./internal/server > bench_serving.out
-	$(GO) run ./cmd/benchjson < bench_serving.out > BENCH_serving.json
+	$(GO) run ./cmd/benchjson -in bench_serving.out > BENCH_serving.json
 	@rm -f bench_serving.out
 	@cat BENCH_serving.json
+
+# Statistical quality sweep and regression gate: fits every ground-truth
+# scenario at ε ∈ {0.1, 1, 10}, writes BENCH_quality.json (2-way/3-way
+# marginal TVD, SVM misclassification, structure recovery), and exits
+# non-zero when a calibrated per-scenario threshold is violated. The
+# sweep is seeded end to end: repeated runs emit identical JSON.
+quality:
+	$(GO) run ./cmd/quality -out BENCH_quality.json
+	@cat BENCH_quality.json
+
+# Native fuzzing smoke over the untrusted-input parsers: model artifacts
+# (core.ReadModelJSON, behind LoadModel) and CSV uploads
+# (dataset.ReadCSV). FUZZTIME bounds each target; the nightly workflow
+# runs with a larger budget.
+fuzz:
+	$(GO) test -run NONE -fuzz 'FuzzReadModelJSON$$' -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run NONE -fuzz 'FuzzReadCSV$$' -fuzztime $(FUZZTIME) ./internal/dataset
 
 # Run the synthesis-serving daemon locally: loads models from ./models,
 # meters curator fits in ./models/ledger.json.
@@ -73,9 +102,16 @@ lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
+# Coverage with a floor: fails when total statement coverage drops
+# below COVER_FLOOR percent. CI uploads coverage.out as an artifact.
 cover:
 	$(GO) test -coverprofile=coverage.out ./...
-	$(GO) tool cover -func=coverage.out | tail -1
+	@total=$$($(GO) tool cover -func=coverage.out | tail -1 | \
+		sed -E 's/.*[[:space:]]([0-9]+(\.[0-9]+)?)%$$/\1/'); \
+	echo "total coverage: $$total% (floor $(COVER_FLOOR)%)"; \
+	ok=$$(awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN{print (t+0 >= f+0) ? 1 : 0}'); \
+	if [ "$$ok" != 1 ]; then \
+		echo "coverage $$total% is below the $(COVER_FLOOR)% floor"; exit 1; fi
 
 fmt:
 	gofmt -w .

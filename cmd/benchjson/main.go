@@ -15,6 +15,7 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -42,8 +43,19 @@ type Report struct {
 }
 
 func main() {
-	cliutil.Parse("benchjson", "convert `go test -bench` output on stdin to machine-readable JSON")
-	rep, err := parse(bufio.NewScanner(os.Stdin))
+	in := flag.String("in", "", "read bench output from this file instead of stdin")
+	cliutil.Parse("benchjson", "convert `go test -bench` output (stdin or -in file) to machine-readable JSON")
+	src := os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		src = f
+	}
+	rep, err := parse(bufio.NewScanner(src))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)

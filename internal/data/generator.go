@@ -15,9 +15,12 @@ import (
 	"privbayes/internal/dp"
 )
 
-// groundTruth is a fixed generative Bayesian network used to sample a
-// synthetic dataset.
-type groundTruth struct {
+// GroundTruth is a fixed generative Bayesian network with fully known
+// structure and conditionals, used to sample synthetic source datasets.
+// Because the structure is known, downstream evaluation (see
+// internal/quality) can score a learned network's edge recovery against
+// it — something no real-world dataset permits.
+type GroundTruth struct {
 	attrs   []dataset.Attribute
 	order   []int   // topological sampling order over attribute indices
 	parents [][]int // parents[i] = attribute indices, already sampled
@@ -26,14 +29,14 @@ type groundTruth struct {
 	// configuration (row-major over parents in parents[i] order).
 }
 
-// newGroundTruth builds a random degree-maxParents network in a seeded
+// NewGroundTruth builds a random degree-maxParents network in a seeded
 // way: the attribute order is shuffled, each attribute receives up to
 // maxParents random earlier attributes as parents, and every conditional
 // block is drawn from a symmetric Dirichlet(alpha). Small alpha yields
 // spiky conditionals, i.e. strong correlations.
-func newGroundTruth(attrs []dataset.Attribute, maxParents int, alpha float64, rng *rand.Rand) *groundTruth {
+func NewGroundTruth(attrs []dataset.Attribute, maxParents int, alpha float64, rng *rand.Rand) *GroundTruth {
 	d := len(attrs)
-	g := &groundTruth{attrs: attrs, order: rng.Perm(d)}
+	g := &GroundTruth{attrs: attrs, order: rng.Perm(d)}
 	g.parents = make([][]int, d)
 	g.conds = make([][]float64, d)
 	for pos, a := range g.order {
@@ -64,8 +67,23 @@ func newGroundTruth(attrs []dataset.Attribute, maxParents int, alpha float64, rn
 	return g
 }
 
-// sample draws n records by ancestral sampling.
-func (g *groundTruth) sample(n int, rng *rand.Rand) *dataset.Dataset {
+// Attrs returns the network's schema.
+func (g *GroundTruth) Attrs() []dataset.Attribute { return g.attrs }
+
+// Edges returns the network's directed edge set as (parent, child)
+// attribute-index pairs, in a deterministic order.
+func (g *GroundTruth) Edges() [][2]int {
+	var edges [][2]int
+	for pos, child := range g.order {
+		for _, p := range g.parents[pos] {
+			edges = append(edges, [2]int{p, child})
+		}
+	}
+	return edges
+}
+
+// Sample draws n records by ancestral sampling.
+func (g *GroundTruth) Sample(n int, rng *rand.Rand) *dataset.Dataset {
 	out := dataset.NewWithCapacity(g.attrs, n)
 	d := len(g.attrs)
 	rec := make([]uint16, d)
@@ -138,6 +156,6 @@ func (s Spec) Generate() *dataset.Dataset { return s.GenerateN(s.N) }
 // the same underlying distribution.
 func (s Spec) GenerateN(n int) *dataset.Dataset {
 	rng := rand.New(rand.NewSource(s.Seed))
-	gt := newGroundTruth(s.build(), 2, s.Alpha, rng)
-	return gt.sample(n, rng)
+	gt := NewGroundTruth(s.build(), 2, s.Alpha, rng)
+	return gt.Sample(n, rng)
 }

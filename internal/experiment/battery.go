@@ -90,7 +90,7 @@ func runPanelOnce(cfg Config, scorers *scorerCache, p batteryPanel, eps float64,
 			return 0, err
 		}
 		syn := m.SampleP(train.N(), rng, cfg.Parallelism)
-		return trainAndScore(syn, test, task, rng)
+		return TrainAndScore(syn, test, task, rng)
 	default:
 		return 0, fmt.Errorf("experiment: unknown panel kind %q", p.kind)
 	}

@@ -11,11 +11,13 @@ import (
 // svmEpochs is the Pegasos epoch count used throughout the harness.
 const svmEpochs = 3
 
-// trainAndScore trains the paper's hinge-loss C-SVM (C = 1) for one
+// TrainAndScore trains the paper's hinge-loss C-SVM (C = 1) for one
 // classification task on trainData (real or synthetic — both share the
 // schema, hence the feature layout) and returns its misclassification
-// rate on the holdout.
-func trainAndScore(trainData, test *dataset.Dataset, task workload.Task, rng *rand.Rand) (float64, error) {
+// rate on the holdout. Exported so the statistical quality gate
+// (internal/quality) scores SVM utility through the exact harness the
+// figure reproductions use.
+func TrainAndScore(trainData, test *dataset.Dataset, task workload.Task, rng *rand.Rand) (float64, error) {
 	target, err := task.TargetIndex(trainData)
 	if err != nil {
 		return 0, err

@@ -63,7 +63,7 @@ func runEncodingSVM(cfg Config, col *collector, dsName string) error {
 					return err
 				}
 				for ti, task := range tasks {
-					mcr, err := trainAndScore(syn, test, task, rng)
+					mcr, err := TrainAndScore(syn, test, task, rng)
 					if err != nil {
 						return err
 					}

@@ -55,7 +55,7 @@ func runSVMBaselines(cfg Config, col *collector, dsName string) error {
 				testProb := svm.Featurize(test, target, task.Positive)
 				taskRng := cfg.rng("svmfig", dsName, task.Name, eps, r)
 
-				mcr, err := trainAndScore(syn, test, task, taskRng)
+				mcr, err := TrainAndScore(syn, test, task, taskRng)
 				if err != nil {
 					return err
 				}

@@ -1,0 +1,83 @@
+package quality
+
+import (
+	"math/rand"
+
+	"privbayes/internal/core"
+	"privbayes/internal/dataset"
+	"privbayes/internal/experiment"
+	"privbayes/internal/workload"
+)
+
+// MarginalTVD returns the mean total-variation distance over the full
+// α-way marginal query set Qα between the real and synthetic datasets —
+// the paper's "average variation distance" on synthetic data. The full
+// query set is evaluated (no sampling), so the result is deterministic.
+// parallelism bounds ground-truth materialization only; it never
+// changes the value.
+func MarginalTVD(real, synth *dataset.Dataset, alpha, parallelism int) float64 {
+	return workload.NewEvaluator(real, alpha, 0, parallelism, nil).AVDDataset(synth)
+}
+
+// SVMError trains the paper's hinge-loss C-SVM (C = 1) for the task on
+// trainData and returns its misclassification rate on the holdout,
+// through the same harness the figure reproductions use
+// (experiment.TrainAndScore). Seeded: a fixed seed gives a fixed rate.
+func SVMError(trainData, test *dataset.Dataset, task workload.Task, seed int64) (float64, error) {
+	return experiment.TrainAndScore(trainData, test, task, rand.New(rand.NewSource(seed)))
+}
+
+// Recovery is the structure-recovery score of a learned network against
+// the known ground truth, over undirected edges (a Bayesian network's
+// structure is identifiable only up to edge orientation, so skeleton
+// recovery is the standard comparison).
+type Recovery struct {
+	Precision float64 `json:"precision"`
+	Recall    float64 `json:"recall"`
+	F1        float64 `json:"f1"`
+	// TruthEdges and LearnedEdges count the undirected edge sets.
+	TruthEdges   int `json:"truth_edges"`
+	LearnedEdges int `json:"learned_edges"`
+}
+
+// edgeKey normalizes an undirected edge between attribute indices.
+func edgeKey(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+// StructureRecovery scores the learned network's undirected edge set
+// against the ground truth's directed edges (orientation discarded).
+// Precision and recall are defined as 1 when their denominator is
+// empty; F1 is 0 when both are 0.
+func StructureRecovery(truth [][2]int, net *core.Network) Recovery {
+	truthSet := make(map[[2]int]bool, len(truth))
+	for _, e := range truth {
+		truthSet[edgeKey(e[0], e[1])] = true
+	}
+	learnedSet := make(map[[2]int]bool)
+	for _, p := range net.Pairs {
+		for _, par := range p.Parents {
+			learnedSet[edgeKey(p.X.Attr, par.Attr)] = true
+		}
+	}
+	tp := 0
+	for e := range learnedSet {
+		if truthSet[e] {
+			tp++
+		}
+	}
+	r := Recovery{TruthEdges: len(truthSet), LearnedEdges: len(learnedSet), Precision: 1, Recall: 1}
+	if len(learnedSet) > 0 {
+		r.Precision = float64(tp) / float64(len(learnedSet))
+	}
+	if len(truthSet) > 0 {
+		r.Recall = float64(tp) / float64(len(truthSet))
+	}
+	if r.Precision+r.Recall > 0 {
+		r.F1 = 2 * r.Precision * r.Recall / (r.Precision + r.Recall)
+	}
+	return r
+}

@@ -1,0 +1,167 @@
+// Package quality is the statistical quality and regression subsystem:
+// it measures how faithful PrivBayes' synthetic data is to its source —
+// the paper's actual headline claims — and gates CI on it.
+//
+// The paper (conf_sigmod_ZhangCPSX14, Section 6) evaluates two
+// workloads: all α-way marginal queries scored by average total
+// variation distance, and SVM classification scored by
+// misclassification rate on a holdout. This package adds a third metric
+// real data cannot provide: because every evaluation scenario is
+// sampled from a seeded ground-truth Bayesian network with *known*
+// structure, the learned network's edges can be scored for
+// precision/recall against the truth.
+//
+// Everything is seeded and runs at a pinned parallelism, so a full
+// sweep (cmd/quality, `make quality`) is bit-deterministic: repeated
+// runs emit identical BENCH_quality.json documents, and CI compares a
+// run against calibrated per-scenario thresholds to catch silent
+// fidelity regressions from future performance work.
+package quality
+
+import (
+	"math/rand"
+
+	"privbayes/internal/data"
+	"privbayes/internal/dataset"
+	"privbayes/internal/workload"
+)
+
+// Scenario is one ground-truth evaluation setting: a seeded generative
+// Bayesian network with known structure, plus the classification task
+// the SVM metric trains on.
+type Scenario struct {
+	// Name identifies the scenario in reports and thresholds.
+	Name string
+	// Truth is the generative network; its structure is the reference
+	// for edge recovery and its samples are the "sensitive" source.
+	Truth *data.GroundTruth
+	// Task is the binary classification task for the SVM metric.
+	Task workload.Task
+	// SampleSeed seeds source-data sampling (train and holdout draw
+	// from one stream, so they are disjoint).
+	SampleSeed int64
+}
+
+// Generate draws train and holdout datasets from the ground truth.
+// Both come from a single seeded stream, so for fixed sizes the draw is
+// deterministic and the holdout is independent of the training rows.
+func (s *Scenario) Generate(trainRows, testRows int) (train, test *dataset.Dataset) {
+	rng := rand.New(rand.NewSource(s.SampleSeed))
+	return s.Truth.Sample(trainRows, rng), s.Truth.Sample(testRows, rng)
+}
+
+// RandomScenario builds a scenario around a fresh random ground-truth
+// network: d attributes whose arities cycle through the given list,
+// degree-`degree` structure, Dirichlet(alpha) conditionals. The first
+// binary attribute is the classification target; when the cycled
+// arities yield none, the last attribute is made binary so a target
+// always exists. Everything derives from seed.
+func RandomScenario(name string, d int, arities []int, degree int, alpha float64, seed int64) Scenario {
+	if len(arities) == 0 {
+		arities = []int{2}
+	}
+	attrs := make([]dataset.Attribute, d)
+	target := -1
+	mk := func(i, size int) {
+		labels := make([]string, size)
+		for v := range labels {
+			labels[v] = string(rune('a' + v))
+		}
+		attrs[i] = dataset.NewCategorical(attrName("x", i), labels)
+		if size == 2 && target < 0 {
+			target = i
+		}
+	}
+	for i := 0; i < d; i++ {
+		mk(i, arities[i%len(arities)])
+	}
+	if target < 0 {
+		// No binary arity landed in the first d cycled positions; the
+		// classification task needs one, so the last attribute becomes
+		// binary.
+		mk(d-1, 2)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return Scenario{
+		Name:  name,
+		Truth: data.NewGroundTruth(attrs, degree, alpha, rng),
+		Task: workload.Task{
+			Dataset:  name,
+			Name:     attrs[target].Name,
+			Attr:     attrs[target].Name,
+			Positive: func(c int) bool { return c == 1 },
+		},
+		SampleSeed: seed + 1,
+	}
+}
+
+func attrName(prefix string, i int) string {
+	return prefix + string(rune('0'+i/10)) + string(rune('0'+i%10))
+}
+
+// AdultLikeScenario is a small mixed-type scenario in the shape of the
+// UCI Adult extract: continuous attributes discretized into equi-width
+// bins (carrying their automatic binary taxonomies) alongside
+// categorical ones, with a binary "salary" classification target — the
+// paper's Adult/"salary" task in miniature.
+func AdultLikeScenario() Scenario {
+	attrs := []dataset.Attribute{
+		dataset.NewContinuous("age", 17, 90, 8),
+		dataset.NewCategorical("workclass", []string{"private", "government", "self", "none"}),
+		dataset.NewCategorical("education", []string{"dropout", "hs", "college", "degree", "advanced"}),
+		dataset.NewCategorical("marital", []string{"never", "married", "divorced", "widowed"}),
+		dataset.NewContinuous("hours", 0, 100, 8),
+		dataset.NewCategorical("sex", []string{"female", "male"}),
+		dataset.NewCategorical("salary", []string{"<=50K", ">50K"}),
+	}
+	rng := rand.New(rand.NewSource(2101))
+	return Scenario{
+		Name:  "adult-like",
+		Truth: data.NewGroundTruth(attrs, 2, 0.25, rng),
+		Task: workload.Task{
+			Dataset:  "adult-like",
+			Name:     "salary",
+			Attr:     "salary",
+			Positive: func(c int) bool { return c == 1 },
+		},
+		SampleSeed: 2102,
+	}
+}
+
+// NLTCSLikeScenario is an all-binary scenario in the shape of the NLTCS
+// disability survey: 10 binary indicators with degree-2 ground truth,
+// exercising the SIGMOD'14 binary pipeline (ModeBinary, score F). The
+// "outside" indicator is the classification target, as in Section 6.1.
+func NLTCSLikeScenario() Scenario {
+	names := []string{
+		"outside", "money", "bathing", "traveling", "dressing",
+		"eating", "grooming", "inside", "cooking", "shopping",
+	}
+	attrs := make([]dataset.Attribute, len(names))
+	for i, n := range names {
+		attrs[i] = dataset.NewCategorical(n, []string{"able", "unable"})
+	}
+	rng := rand.New(rand.NewSource(2201))
+	return Scenario{
+		Name:  "nltcs-like",
+		Truth: data.NewGroundTruth(attrs, 2, 0.3, rng),
+		Task: workload.Task{
+			Dataset:  "nltcs-like",
+			Name:     "outside",
+			Attr:     "outside",
+			Positive: func(c int) bool { return c == 1 },
+		},
+		SampleSeed: 2202,
+	}
+}
+
+// DefaultScenarios is the gate's scenario corpus: a random mixed-arity
+// network, the Adult-like mixed-type scenario, and the NLTCS-like
+// binary scenario. Order is the report order.
+func DefaultScenarios() []Scenario {
+	return []Scenario{
+		RandomScenario("random-mixed", 9, []int{2, 3, 4}, 2, 0.3, 2001),
+		AdultLikeScenario(),
+		NLTCSLikeScenario(),
+	}
+}

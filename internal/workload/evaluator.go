@@ -50,6 +50,14 @@ func NewEvaluator(real *dataset.Dataset, alpha, maxSubsets, parallelism int, rng
 	return e
 }
 
+// AVDDataset evaluates a synthetic dataset directly: the dataset's
+// empirical marginals answer the query set. This is the paper's
+// synthetic-data evaluation path (and the quality gate's TVD metric) —
+// equivalent to AVD over a baseline.Dataset source.
+func (e *Evaluator) AVDDataset(ds *dataset.Dataset) float64 {
+	return e.AVD(&baseline.Dataset{DS: ds})
+}
+
 // AVD returns the average total-variation distance of the source's
 // answers over the evaluator's query subsets.
 func (e *Evaluator) AVD(src baseline.MarginalSource) float64 {
