@@ -56,6 +56,11 @@ bench-json:
 	$(GO) run ./cmd/benchjson -in bench_serving.out > BENCH_serving.json
 	@rm -f bench_serving.out
 	@cat BENCH_serving.json
+	$(GO) test -run NONE -bench '^(BenchmarkQuery|BenchmarkSynthesizeThenScan)$$' \
+		-benchtime 1s . > bench_query.out
+	$(GO) run ./cmd/benchjson -in bench_query.out > BENCH_query.json
+	@rm -f bench_query.out
+	@cat BENCH_query.json
 
 # Statistical quality sweep and regression gate: fits every ground-truth
 # scenario at ε ∈ {0.1, 1, 10}, writes BENCH_quality.json (2-way/3-way

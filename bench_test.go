@@ -8,6 +8,7 @@
 package privbayes
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -279,6 +280,79 @@ func BenchmarkSampleParallelWorkers(b *testing.B) {
 				m.SampleP(50000, rng, par)
 			}
 		})
+	}
+}
+
+// queryBenchDims is the dimension grid of the query-vs-scan pair; each
+// width 1..4 marginal is benchmarked at every d.
+var queryBenchDims = []int{8, 16, 32}
+
+// queryScanRows is the synthetic-sample size of the scan baseline — the
+// rows an analyst without the query engine would have to synthesize and
+// scan to answer one marginal.
+const queryScanRows = 10_000
+
+// fitQueryBenchModel fits one chained binary model of width d for the
+// query benchmarks (outside the timed loop).
+func fitQueryBenchModel(b *testing.B, d int) *Model {
+	b.Helper()
+	ds := binaryChainData(4000, d, 7)
+	rng := rand.New(rand.NewSource(9))
+	m, err := core.Fit(ds, core.Options{
+		Epsilon: 0.8, Beta: 0.3, Theta: 4, K: 2,
+		Mode: core.ModeBinary, Score: score.F, Rand: rng,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// BenchmarkQuery measures exact marginal queries through the v2 query
+// engine (Model.Query → variable elimination) over d ∈ {8, 16, 32}
+// attributes at marginal widths 1..4. Pairs with
+// BenchmarkSynthesizeThenScan; benchjson reports the per-configuration
+// speedup as query_vs_scan/<sub> in BENCH_query.json.
+func BenchmarkQuery(b *testing.B) {
+	ctx := context.Background()
+	for _, d := range queryBenchDims {
+		m := fitQueryBenchModel(b, d)
+		for width := 1; width <= 4 && width <= d; width++ {
+			names := make([]string, width)
+			for i := range names {
+				names[i] = fmt.Sprintf("a%d", i)
+			}
+			b.Run(fmt.Sprintf("d=%d/width=%d", d, width), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := m.Query(ctx, Marginal(names...)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkSynthesizeThenScan is the baseline the query engine
+// replaces: answer the same marginal by sampling a queryScanRows-row
+// synthetic dataset from the model and scanning it. Same grid and
+// sub-benchmark names as BenchmarkQuery, so benchjson pairs them.
+func BenchmarkSynthesizeThenScan(b *testing.B) {
+	for _, d := range queryBenchDims {
+		m := fitQueryBenchModel(b, d)
+		rng := rand.New(rand.NewSource(11))
+		for width := 1; width <= 4 && width <= d; width++ {
+			vars := make([]marginal.Var, width)
+			for i := range vars {
+				vars[i] = marginal.Var{Attr: i}
+			}
+			b.Run(fmt.Sprintf("d=%d/width=%d", d, width), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					syn := m.SampleP(queryScanRows, rng, 2)
+					marginal.Materialize(syn, vars)
+				}
+			})
+		}
 	}
 }
 

@@ -135,24 +135,34 @@ func parseBenchLine(line string) (Benchmark, bool) {
 	return b, b.NsPerOp > 0
 }
 
-// speedups pairs BenchmarkScoreBatchShared/<sub> with
-// BenchmarkScoreBatchLegacy/<sub> and reports legacy_ns / shared_ns.
+// speedupPairs are the fast-vs-baseline benchmark families whose
+// matching sub-benchmarks are paired into headline speedups: the
+// shared-scan scoring engine against the legacy scorer, and the exact
+// query engine against synthesize-then-scan.
+var speedupPairs = []struct{ fast, base, label string }{
+	{"BenchmarkScoreBatchShared/", "BenchmarkScoreBatchLegacy/", "shared_vs_legacy/"},
+	{"BenchmarkQuery/", "BenchmarkSynthesizeThenScan/", "query_vs_scan/"},
+}
+
+// speedups pairs each family's <fast>/<sub> with <base>/<sub> and
+// reports base_ns / fast_ns.
 func speedups(benches []Benchmark) map[string]float64 {
-	const shared, legacy = "BenchmarkScoreBatchShared/", "BenchmarkScoreBatchLegacy/"
-	sharedNs := map[string]float64{}
-	legacyNs := map[string]float64{}
-	for _, b := range benches {
-		if sub, ok := strings.CutPrefix(b.Name, shared); ok {
-			sharedNs[sub] = b.NsPerOp
-		}
-		if sub, ok := strings.CutPrefix(b.Name, legacy); ok {
-			legacyNs[sub] = b.NsPerOp
-		}
-	}
 	out := map[string]float64{}
-	for sub, s := range sharedNs {
-		if l, ok := legacyNs[sub]; ok && s > 0 {
-			out["shared_vs_legacy/"+sub] = l / s
+	for _, pair := range speedupPairs {
+		fastNs := map[string]float64{}
+		baseNs := map[string]float64{}
+		for _, b := range benches {
+			if sub, ok := strings.CutPrefix(b.Name, pair.fast); ok {
+				fastNs[sub] = b.NsPerOp
+			}
+			if sub, ok := strings.CutPrefix(b.Name, pair.base); ok {
+				baseNs[sub] = b.NsPerOp
+			}
+		}
+		for sub, f := range fastNs {
+			if l, ok := baseNs[sub]; ok && f > 0 {
+				out[pair.label+sub] = l / f
+			}
 		}
 	}
 	if len(out) == 0 {

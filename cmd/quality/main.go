@@ -5,6 +5,11 @@
 // the known generative network, then gates the results on calibrated
 // per-scenario thresholds.
 //
+// TVD metrics are computed by exact inference on the released model
+// (Model.Query), so they measure model fidelity with no sampling error;
+// -sample-tvd restores the empirical-marginal path over the synthetic
+// sample.
+//
 // The sweep is seeded end to end and runs at pinned parallelism, so for
 // fixed flags the emitted document is byte-identical across runs and
 // machines — CI verifies this by running it twice and comparing.
@@ -18,7 +23,7 @@
 // Usage:
 //
 //	quality [-out BENCH_quality.json] [-scale 1] [-eps 0.1,1,10]
-//	        [-check] [-sabotage] [-parallelism 2]
+//	        [-check] [-sabotage] [-sample-tvd] [-parallelism 2]
 package main
 
 import (
@@ -38,18 +43,20 @@ import (
 
 func main() {
 	var (
-		out      = flag.String("out", "", "write the JSON report to this file ('' = stdout)")
-		scale    = flag.Int("scale", 1, "row-count multiplier (nightly runs use larger values)")
-		epsFlag  = flag.String("eps", "", "comma-separated ε sweep override (default 0.1,1,10)")
-		check    = flag.Bool("check", true, "exit 1 when any calibrated threshold is violated")
-		sabotage = flag.Bool("sabotage", false, "deliberately break the sampler (gate self-test; must fail)")
-		par      = flag.Int("parallelism", 2, "worker bound; any value other than 1 is bit-identical across machines")
+		out       = flag.String("out", "", "write the JSON report to this file ('' = stdout)")
+		scale     = flag.Int("scale", 1, "row-count multiplier (nightly runs use larger values)")
+		epsFlag   = flag.String("eps", "", "comma-separated ε sweep override (default 0.1,1,10)")
+		check     = flag.Bool("check", true, "exit 1 when any calibrated threshold is violated")
+		sabotage  = flag.Bool("sabotage", false, "deliberately break the release (gate self-test; must fail)")
+		par       = flag.Int("parallelism", 2, "worker bound; any value other than 1 is bit-identical across machines")
+		sampleTVD = flag.Bool("sample-tvd", false, "compute TVD from the synthetic sample's empirical marginals instead of exact model inference")
 	)
 	cliutil.Parse("quality", "statistical quality sweep and regression gate over ground-truth scenarios")
 
 	opt := quality.DefaultOptions(*scale)
 	opt.Parallelism = *par
 	opt.BreakSampler = *sabotage
+	opt.SampleTVD = *sampleTVD
 	if *epsFlag != "" {
 		eps, err := parseEps(*epsFlag)
 		if err != nil {

@@ -107,6 +107,54 @@ func ExampleModel_SynthesizeTo() {
 	// rows: 1000
 }
 
+// Exact queries: marginals, conditionals and expected counts answered
+// straight from the fitted model by variable elimination — no sampling
+// error, no privacy cost beyond the fit.
+func ExampleModel_Query() {
+	ds := exampleData()
+	model, err := privbayes.Fit(context.Background(), ds,
+		privbayes.WithEpsilon(1.0), privbayes.WithSeed(7))
+	if err != nil {
+		panic(err)
+	}
+	ctx := context.Background()
+
+	// A one-way marginal: the distribution of city.
+	cities, err := model.Query(ctx, privbayes.Marginal("city"))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("cities: %d cells, mass %.0f\n", len(cities.P), sum(cities.P))
+
+	// A conditional: P(vip | city = paris).
+	vip, err := model.Query(ctx,
+		privbayes.Conditional([]string{"vip"}, privbayes.Eq("city", "paris")))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("vip|paris: %d cells, mass %.0f\n", len(vip.P), sum(vip.P))
+
+	// An expected count among 5000 synthetic rows.
+	n, err := model.Query(ctx, privbayes.Count(5000,
+		privbayes.Eq("vip", "yes"), privbayes.In("city", "paris", "tokyo")))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("expected vip rows in paris+tokyo: %d of 5000\n", int(n.Value+0.5))
+	// Output:
+	// cities: 3 cells, mass 1
+	// vip|paris: 2 cells, mass 1
+	// expected vip rows in paris+tokyo: 365 of 5000
+}
+
+func sum(p []float64) float64 {
+	var s float64
+	for _, v := range p {
+		s += v
+	}
+	return s
+}
+
 // A Session binds options to one dataset and shares score caches
 // across fits — the repeated-fitting (serving) workload.
 func ExampleSession() {

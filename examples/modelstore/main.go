@@ -52,10 +52,11 @@ func main() {
 	syn := reloaded.Sample(ds.N(), rng)
 	sampled := marginal.Materialize(syn, vars)
 
-	inferred, err := reloaded.InferMarginal([]int{gender, car}, 0)
+	res, err := reloaded.Query(context.Background(), privbayes.Marginal("gender", "car"))
 	if err != nil {
 		panic(err)
 	}
+	inferred := res.Table()
 
 	fmt.Printf("\nPr[gender, car]            sensitive   sampled   inferred\n")
 	labels := []string{"F/no", "F/yes", "M/no", "M/yes"}

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"privbayes/internal/dataset"
+	"privbayes/internal/infer"
 	"privbayes/internal/marginal"
 	"privbayes/internal/parallel"
 )
@@ -135,208 +136,52 @@ func (m *Model) sampleRange(out *dataset.Dataset, lo, hi int, rng *rand.Rand) {
 // flags as future work ("whether certain questions could be answered
 // directly from the materialized model and its parameters, rather than
 // via random sampling"). It performs exact forward inference over the
-// Bayesian network: AP pairs are processed in topological order,
-// multiplying each relevant conditional into a running joint and summing
-// out attributes as soon as no later factor or query needs them.
+// Bayesian network through the variable-elimination engine of
+// internal/infer; the answer carries no sampling error, so model-direct
+// answers are strictly more accurate for low-dimensional queries (see
+// BenchmarkAblationInferenceVsSampling).
 //
-// The intermediate joint can grow beyond the network's treewidth-bounded
-// ideal for unlucky queries; maxCells bounds it (0 means the
-// DefaultInferenceCells cap) and an error reports when the bound would
-// be exceeded, in which case the caller should fall back to sampling.
-// Eliminating sampling error makes model-direct answers strictly more
-// accurate for low-dimensional queries (see BenchmarkInferenceVsSampling).
+// Deprecated: InferMarginal is the positional-maxCells v1 form, kept as
+// a byte-identical shim over the query engine. Use the v2 query API —
+//
+//	m.Query(ctx, core.Marginal(names...), core.QueryMaxCells(n))
+//
+// — which takes a context, names attributes instead of indexing them,
+// replaces the positional maxCells with the QueryMaxCells option, and
+// additionally answers conditional, probability and count queries with
+// predicates and taxonomy-level rollup. For a fixed query class
+// (marginal over raw-level attributes) the two return bit-identical
+// tables.
 func (m *Model) InferMarginal(attrs []int, maxCells int) (*marginal.Table, error) {
-	if maxCells <= 0 {
-		maxCells = DefaultInferenceCells
-	}
-	want := make(map[int]bool, len(attrs))
-	for _, a := range attrs {
+	targets := make([]infer.Target, len(attrs))
+	for i, a := range attrs {
 		if a < 0 || a >= len(m.Attrs) {
 			return nil, fmt.Errorf("core: attribute %d out of range", a)
 		}
-		want[a] = true
+		targets[i] = infer.Target{Attr: a}
 	}
+	// Parallelism 1 keeps the shim allocation-lean on the tiny factors
+	// typical of marginal queries; any setting returns the same bits.
+	return m.engine().Joint(context.Background(), targets, nil,
+		infer.Options{MaxCells: maxCells, Parallelism: 1})
+}
 
-	// Relevance: only ancestors of the query influence its marginal.
-	relevant := make(map[int]bool, len(m.Attrs))
-	for i := len(m.Network.Pairs) - 1; i >= 0; i-- {
-		p := m.Network.Pairs[i]
-		if want[p.X.Attr] || relevant[p.X.Attr] {
-			relevant[p.X.Attr] = true
-			for _, par := range p.Parents {
-				relevant[par.Attr] = true
-			}
-		}
-	}
-	// lastUse[a] = index of the last relevant pair whose parent set
-	// mentions attribute a; after that factor, a can be summed out
-	// unless queried.
-	lastUse := make(map[int]int, len(relevant))
-	for i, p := range m.Network.Pairs {
-		if !relevant[p.X.Attr] {
-			continue
-		}
-		for _, par := range p.Parents {
-			lastUse[par.Attr] = i
-		}
-	}
-
-	// Running joint over raw attribute codes; starts as the scalar 1.
-	joint := &factor{attrs: nil, dims: nil, p: []float64{1}}
+// engine wraps the model's CPTs as an inference engine. Construction is
+// O(d) slice wrapping, so per-query construction costs nanoseconds and
+// keeps Model free of caching state (models are plain serializable
+// values).
+func (m *Model) engine() *infer.Engine {
+	cpts := make([]infer.CPT, len(m.Network.Pairs))
 	for i, pair := range m.Network.Pairs {
-		if !relevant[pair.X.Attr] {
-			continue
+		parents := make([]infer.Parent, len(pair.Parents))
+		for j, par := range pair.Parents {
+			parents[j] = infer.Parent{Attr: par.Attr, Level: par.Level}
 		}
-		var err error
-		joint, err = joint.multiplyConditional(m, pair, m.Conds[i], maxCells)
-		if err != nil {
-			return nil, err
-		}
-		// Sum out finished attributes.
-		for _, a := range joint.attrs {
-			if !want[a] && lastUse[a] <= i {
-				joint = joint.sumOut(a)
-			}
-		}
+		cpts[i] = infer.CPT{X: pair.X.Attr, Parents: parents, Cond: m.Conds[i]}
 	}
-	// Order the result as requested.
-	out := &marginal.Table{Vars: make([]marginal.Var, len(attrs)), Dims: make([]int, len(attrs))}
-	size := 1
-	for i, a := range attrs {
-		out.Vars[i] = marginal.Var{Attr: a}
-		out.Dims[i] = m.Attrs[a].Size()
-		size *= out.Dims[i]
-	}
-	out.P = make([]float64, size)
-	pos := make([]int, len(attrs))
-	for i, a := range attrs {
-		pos[i] = -1
-		for j, fa := range joint.attrs {
-			if fa == a {
-				pos[i] = j
-				break
-			}
-		}
-		if pos[i] < 0 {
-			return nil, fmt.Errorf("core: attribute %d lost during inference", a)
-		}
-	}
-	codes := make([]int, len(joint.attrs))
-	for idx, p := range joint.p {
-		rem := idx
-		for j := len(joint.attrs) - 1; j >= 0; j-- {
-			codes[j] = rem % joint.dims[j]
-			rem /= joint.dims[j]
-		}
-		o := 0
-		for i := range attrs {
-			o = o*out.Dims[i] + codes[pos[i]]
-		}
-		out.P[o] += p
-	}
-	return out, nil
+	return infer.NewEngine(m.Attrs, cpts)
 }
 
-// DefaultInferenceCells caps the intermediate joint of InferMarginal.
-const DefaultInferenceCells = 1 << 22
-
-// factor is an intermediate joint distribution over raw attribute codes,
-// row-major with the last attribute fastest.
-type factor struct {
-	attrs []int
-	dims  []int
-	p     []float64
-}
-
-func (f *factor) indexOf(attr int) int {
-	for i, a := range f.attrs {
-		if a == attr {
-			return i
-		}
-	}
-	return -1
-}
-
-// multiplyConditional extends the factor with pair.X by multiplying in
-// Pr*[X | Π]. Parents are already in the factor (guaranteed by network
-// topological order); generalized parent levels are applied on the fly.
-func (f *factor) multiplyConditional(m *Model, pair APPair, cond *marginal.Conditional, maxCells int) (*factor, error) {
-	x := pair.X.Attr
-	xDim := m.Attrs[x].Size()
-	if len(f.p)*xDim > maxCells {
-		return nil, fmt.Errorf("core: inference joint would exceed %d cells; fall back to sampling", maxCells)
-	}
-	parentPos := make([]int, len(pair.Parents))
-	for i, par := range pair.Parents {
-		parentPos[i] = f.indexOf(par.Attr)
-		if parentPos[i] < 0 {
-			return nil, fmt.Errorf("core: parent %d not in factor (network order violated)", par.Attr)
-		}
-	}
-	out := &factor{
-		attrs: append(append([]int(nil), f.attrs...), x),
-		dims:  append(append([]int(nil), f.dims...), xDim),
-		p:     make([]float64, len(f.p)*xDim),
-	}
-	codes := make([]int, len(f.attrs))
-	parentCodes := make([]int, len(pair.Parents))
-	for idx, base := range f.p {
-		rem := idx
-		for j := len(f.attrs) - 1; j >= 0; j-- {
-			codes[j] = rem % f.dims[j]
-			rem /= f.dims[j]
-		}
-		for i, par := range pair.Parents {
-			c := codes[parentPos[i]]
-			if par.Level > 0 {
-				c = m.Attrs[par.Attr].Generalize(par.Level, c)
-			}
-			parentCodes[i] = c
-		}
-		off := cond.BlockIndex(parentCodes)
-		for v := 0; v < xDim; v++ {
-			out.p[idx*xDim+v] = base * cond.P[off+v]
-		}
-	}
-	return out, nil
-}
-
-// sumOut marginalizes one attribute away.
-func (f *factor) sumOut(attr int) *factor {
-	pos := f.indexOf(attr)
-	if pos < 0 {
-		return f
-	}
-	outAttrs := make([]int, 0, len(f.attrs)-1)
-	outDims := make([]int, 0, len(f.dims)-1)
-	for i, a := range f.attrs {
-		if i == pos {
-			continue
-		}
-		outAttrs = append(outAttrs, a)
-		outDims = append(outDims, f.dims[i])
-	}
-	size := 1
-	for _, d := range outDims {
-		size *= d
-	}
-	out := &factor{attrs: outAttrs, dims: outDims, p: make([]float64, size)}
-	codes := make([]int, len(f.attrs))
-	for idx, p := range f.p {
-		rem := idx
-		for j := len(f.attrs) - 1; j >= 0; j-- {
-			codes[j] = rem % f.dims[j]
-			rem /= f.dims[j]
-		}
-		o := 0
-		for i := range f.attrs {
-			if i == pos {
-				continue
-			}
-			oi := codes[i]
-			o = o*f.dims[i] + oi
-		}
-		out.p[o] += p
-	}
-	return out
-}
+// DefaultInferenceCells caps the intermediate inference factor when no
+// explicit bound is given (it equals infer.DefaultMaxCells).
+const DefaultInferenceCells = infer.DefaultMaxCells

@@ -1,0 +1,294 @@
+package infer
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"privbayes/internal/dataset"
+	"privbayes/internal/marginal"
+)
+
+// randomEngine builds a random network over the given attribute sizes:
+// each attribute picks up to maxParents random earlier attributes (at a
+// random taxonomy level when the attribute has one) and a random
+// normalized CPT.
+func randomEngine(t *testing.T, sizes []int, maxParents int, seed int64) *Engine {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	attrs := make([]dataset.Attribute, len(sizes))
+	for i, s := range sizes {
+		if s >= 4 && s&(s-1) == 0 && rng.Intn(2) == 0 {
+			// Power-of-two continuous attributes carry a binary taxonomy
+			// tree, exercising generalized parents and rollup.
+			attrs[i] = dataset.NewContinuous(fmt.Sprintf("c%d", i), 0, float64(s), s)
+		} else {
+			labels := make([]string, s)
+			for j := range labels {
+				labels[j] = fmt.Sprintf("v%d", j)
+			}
+			attrs[i] = dataset.NewCategorical(fmt.Sprintf("a%d", i), labels)
+		}
+	}
+	cpts := make([]CPT, len(sizes))
+	for i := range sizes {
+		nPar := 0
+		if i > 0 {
+			nPar = rng.Intn(min(maxParents, i) + 1)
+		}
+		perm := rng.Perm(i)
+		parents := make([]Parent, nPar)
+		pvars := make([]marginal.Var, nPar)
+		pdims := make([]int, nPar)
+		blocks := 1
+		for j := 0; j < nPar; j++ {
+			p := perm[j]
+			level := 0
+			if h := attrs[p].Height(); h > 1 && rng.Intn(2) == 0 {
+				level = 1 + rng.Intn(h-1)
+			}
+			parents[j] = Parent{Attr: p, Level: level}
+			pvars[j] = marginal.Var{Attr: p, Level: level}
+			pdims[j] = attrs[p].SizeAt(level)
+			blocks *= pdims[j]
+		}
+		xDim := attrs[i].Size()
+		p := make([]float64, blocks*xDim)
+		for b := 0; b < blocks; b++ {
+			var sum float64
+			for v := 0; v < xDim; v++ {
+				p[b*xDim+v] = rng.Float64() + 0.05
+				sum += p[b*xDim+v]
+			}
+			for v := 0; v < xDim; v++ {
+				p[b*xDim+v] /= sum
+			}
+		}
+		cpts[i] = CPT{X: i, Parents: parents, Cond: &marginal.Conditional{
+			X: marginal.Var{Attr: i}, Parents: pvars, PDims: pdims, XDim: xDim, P: p,
+		}}
+	}
+	return NewEngine(attrs, cpts)
+}
+
+// bruteForce enumerates the full joint and aggregates it onto the
+// targets under the evidence masks — the O(∏ sizes) reference answer.
+func bruteForce(e *Engine, targets []Target, evidence []Evidence) *marginal.Table {
+	masks := map[int][]bool{}
+	for _, ev := range evidence {
+		masks[ev.Attr] = ev.Allowed
+	}
+	out := &marginal.Table{
+		Vars: make([]marginal.Var, len(targets)),
+		Dims: make([]int, len(targets)),
+	}
+	size := 1
+	for i, tg := range targets {
+		out.Vars[i] = marginal.Var{Attr: tg.Attr, Level: tg.Level}
+		out.Dims[i] = e.attrs[tg.Attr].SizeAt(tg.Level)
+		size *= out.Dims[i]
+	}
+	out.P = make([]float64, size)
+
+	d := len(e.attrs)
+	codes := make([]int, d)
+	var walk func(int, float64)
+	walk = func(i int, w float64) {
+		if i == d {
+			for _, ev := range evidence {
+				if !ev.Allowed[codes[ev.Attr]] {
+					return
+				}
+			}
+			o := 0
+			for j, tg := range targets {
+				c := codes[tg.Attr]
+				if tg.Level > 0 {
+					c = e.attrs[tg.Attr].Generalize(tg.Level, c)
+				}
+				o = o*out.Dims[j] + c
+			}
+			out.P[o] += w
+			return
+		}
+		c := e.cpts[i]
+		parentCodes := make([]int, len(c.Parents))
+		for j, par := range c.Parents {
+			pc := codes[par.Attr]
+			if par.Level > 0 {
+				pc = e.attrs[par.Attr].Generalize(par.Level, pc)
+			}
+			parentCodes[j] = pc
+		}
+		for v := 0; v < e.attrs[i].Size(); v++ {
+			codes[i] = v
+			walk(i+1, w*c.Cond.Prob(parentCodes, v))
+		}
+	}
+	walk(0, 1)
+	return out
+}
+
+func tablesClose(t *testing.T, want, got *marginal.Table, tol float64) {
+	t.Helper()
+	if len(want.P) != len(got.P) {
+		t.Fatalf("size mismatch: want %d cells, got %d", len(want.P), len(got.P))
+	}
+	for i := range want.P {
+		if math.Abs(want.P[i]-got.P[i]) > tol {
+			t.Fatalf("cell %d: want %g, got %g", i, want.P[i], got.P[i])
+		}
+	}
+}
+
+// TestJointMatchesBruteForce: the elimination engine must agree with
+// full-joint enumeration on random networks, random target sets, random
+// rollup levels and random evidence masks.
+func TestJointMatchesBruteForce(t *testing.T) {
+	shapes := [][]int{
+		{2, 2, 2, 2, 2},
+		{3, 2, 4, 2},
+		{4, 4, 3, 2, 2},
+		{2, 3, 2, 4, 3},
+	}
+	for seed, sizes := range shapes {
+		e := randomEngine(t, sizes, 3, int64(seed)*17+1)
+		rng := rand.New(rand.NewSource(int64(seed) * 29))
+		for trial := 0; trial < 20; trial++ {
+			perm := rng.Perm(len(sizes))
+			nT := 1 + rng.Intn(2)
+			nE := rng.Intn(min(2, len(sizes)-nT) + 1)
+			targets := make([]Target, nT)
+			for i := 0; i < nT; i++ {
+				a := perm[i]
+				level := 0
+				if h := e.attrs[a].Height(); h > 1 && rng.Intn(2) == 0 {
+					level = 1 + rng.Intn(h-1)
+				}
+				targets[i] = Target{Attr: a, Level: level}
+			}
+			evidence := make([]Evidence, nE)
+			for i := 0; i < nE; i++ {
+				a := perm[nT+i]
+				mask := make([]bool, e.attrs[a].Size())
+				for !anyTrue(mask) {
+					for j := range mask {
+						mask[j] = rng.Intn(2) == 0
+					}
+				}
+				evidence[i] = Evidence{Attr: a, Allowed: mask}
+			}
+			got, err := e.Joint(context.Background(), targets, evidence, Options{})
+			if err != nil {
+				t.Fatalf("shape %v trial %d: %v", sizes, trial, err)
+			}
+			want := bruteForce(e, targets, evidence)
+			tablesClose(t, want, got, 1e-12)
+		}
+	}
+}
+
+func anyTrue(mask []bool) bool {
+	for _, b := range mask {
+		if b {
+			return true
+		}
+	}
+	return false
+}
+
+// TestJointNoEvidenceSumsToOne: a pure marginal is a distribution.
+func TestJointNoEvidenceSumsToOne(t *testing.T) {
+	e := randomEngine(t, []int{3, 2, 4, 2, 3}, 2, 7)
+	for _, targets := range [][]Target{
+		{{Attr: 0}},
+		{{Attr: 4}, {Attr: 1}},
+		{{Attr: 2}, {Attr: 0}, {Attr: 3}},
+	} {
+		got, err := e.Joint(context.Background(), targets, nil, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s := got.Sum(); math.Abs(s-1) > 1e-12 {
+			t.Errorf("targets %v: mass %g, want 1", targets, s)
+		}
+	}
+}
+
+// TestJointParallelismBitIdentical: factor products are independent
+// writes, so every worker setting must return the same bits.
+func TestJointParallelismBitIdentical(t *testing.T) {
+	e := randomEngine(t, []int{4, 4, 4, 4, 4, 4, 4, 4}, 3, 11)
+	targets := []Target{{Attr: 7}, {Attr: 3}}
+	var base *marginal.Table
+	for _, par := range []int{1, 2, 4, 8} {
+		got, err := e.Joint(context.Background(), targets, nil, Options{Parallelism: par})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base == nil {
+			base = got
+			continue
+		}
+		for i := range base.P {
+			if base.P[i] != got.P[i] {
+				t.Fatalf("parallelism %d: cell %d = %v, want %v (bit-identity)", par, i, got.P[i], base.P[i])
+			}
+		}
+	}
+}
+
+// TestJointCellCap: an over-cap query must fail with ErrTooLarge and
+// allocate nothing.
+func TestJointCellCap(t *testing.T) {
+	e := randomEngine(t, []int{4, 4, 4, 4, 4, 4}, 5, 13)
+	targets := make([]Target, 6)
+	for i := range targets {
+		targets[i] = Target{Attr: i}
+	}
+	_, err := e.Joint(context.Background(), targets, nil, Options{MaxCells: 16})
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+// TestJointValidation: malformed requests are rejected with errors,
+// never panics.
+func TestJointValidation(t *testing.T) {
+	e := randomEngine(t, []int{2, 2, 2}, 1, 17)
+	ctx := context.Background()
+	cases := []struct {
+		name     string
+		targets  []Target
+		evidence []Evidence
+	}{
+		{"target out of range", []Target{{Attr: 9}}, nil},
+		{"negative target", []Target{{Attr: -1}}, nil},
+		{"bad level", []Target{{Attr: 0, Level: 5}}, nil},
+		{"evidence out of range", []Target{{Attr: 0}}, []Evidence{{Attr: 7, Allowed: []bool{true}}}},
+		{"target and evidence overlap", []Target{{Attr: 1}}, []Evidence{{Attr: 1, Allowed: []bool{true, true}}}},
+		{"duplicate evidence", []Target{{Attr: 0}}, []Evidence{{Attr: 1, Allowed: []bool{true, true}}, {Attr: 1, Allowed: []bool{true, true}}}},
+		{"mask size mismatch", []Target{{Attr: 0}}, []Evidence{{Attr: 1, Allowed: []bool{true}}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := e.Joint(ctx, tc.targets, tc.evidence, Options{}); err == nil {
+				t.Fatal("expected an error")
+			}
+		})
+	}
+}
+
+// TestJointCancelled: a cancelled context stops the elimination.
+func TestJointCancelled(t *testing.T) {
+	e := randomEngine(t, []int{4, 4, 4, 4, 4, 4, 4, 4}, 3, 19)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := e.Joint(ctx, []Target{{Attr: 7}}, nil, Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

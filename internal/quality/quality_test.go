@@ -104,6 +104,54 @@ func TestGateTripsOnBrokenSampler(t *testing.T) {
 	}
 }
 
+// TestTVDSourcePaths: the default sweep answers TVD by exact inference
+// and records it; -sample-tvd restores the empirical path, which also
+// gates (and also trips under sabotage). The exact metric never exceeds
+// the sampled one by more than the sampling error it removes.
+func TestTVDSourcePaths(t *testing.T) {
+	exact, err := Run(context.Background(), smallOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.TVDSource != "exact" {
+		t.Fatalf("default TVD source = %q, want exact", exact.TVDSource)
+	}
+	optS := smallOptions()
+	optS.SampleTVD = true
+	sampled, err := Run(context.Background(), optS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sampled.TVDSource != "sampled" {
+		t.Fatalf("sampled TVD source = %q, want sampled", sampled.TVDSource)
+	}
+	for i := range exact.Results {
+		e, s := exact.Results[i], sampled.Results[i]
+		// Same fits, same models: the two paths measure the same release,
+		// so they must be close; exact removes only the sampling error.
+		if diff := e.TVD2 - s.TVD2; diff > 0.1 || diff < -0.1 {
+			t.Errorf("%s ε=%g: exact TVD2 %.4f vs sampled %.4f", e.Scenario, e.Epsilon, e.TVD2, s.TVD2)
+		}
+		// SVM and structure are unaffected by the TVD source.
+		if e.SVMError != s.SVMError || e.Structure != s.Structure {
+			t.Errorf("%s ε=%g: non-TVD metrics changed with the TVD source", e.Scenario, e.Epsilon)
+		}
+	}
+
+	// The sampled path's sabotage self-test must trip as well.
+	optS.BreakSampler = true
+	optS.Thresholds = map[string][]Limits{
+		"t-rand": {{Eps: 0.5, MaxTVD2: 0.25}, {Eps: 5, MaxTVD2: 0.25}},
+	}
+	rep, err := Run(context.Background(), optS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pass {
+		t.Fatal("sampled-path sabotage passed the gate")
+	}
+}
+
 // TestDefaultThresholdsCoverSweep: every default scenario carries a
 // limit row for every swept ε — a typo'd scenario name or ε would
 // silently disable the gate.

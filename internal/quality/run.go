@@ -8,6 +8,7 @@ import (
 
 	"privbayes"
 	"privbayes/internal/dataset"
+	"privbayes/internal/marginal"
 	"privbayes/internal/workload"
 )
 
@@ -36,10 +37,18 @@ type Options struct {
 	Parallelism int
 	// Thresholds gates results per scenario name; nil disables gating.
 	Thresholds map[string][]Limits
-	// BreakSampler deliberately sabotages the synthesis step (each
-	// attribute is resampled independently and uniformly, destroying
-	// all learned correlations and marginal shapes). It exists to prove
-	// the gate trips: a run with BreakSampler must fail its thresholds.
+	// SampleTVD computes the TVD metrics from the empirical marginals of
+	// the synthetic sample instead of the exact model marginals (the
+	// pre-query-engine behavior). The default (false) answers every
+	// workload marginal by exact inference (Model.Query), so the metric
+	// measures model fidelity alone, with no sampling error mixed in.
+	SampleTVD bool
+	// BreakSampler deliberately sabotages the release: the synthetic
+	// sample is resampled independently and uniformly per attribute, and
+	// the model's conditional tables are flattened to uniform (so the
+	// exact-inference TVD path is sabotaged too, not just the sample
+	// path). It exists to prove the gate trips: a run with BreakSampler
+	// must fail its thresholds.
 	BreakSampler bool
 }
 
@@ -92,10 +101,14 @@ type Result struct {
 // timestamps or environment data: for a fixed Options it is
 // byte-identical across runs and machines.
 type Report struct {
-	Schema    string    `json:"schema"`
-	TrainRows int       `json:"train_rows"`
-	TestRows  int       `json:"test_rows"`
-	SynthRows int       `json:"synth_rows"`
+	Schema    string `json:"schema"`
+	TrainRows int    `json:"train_rows"`
+	TestRows  int    `json:"test_rows"`
+	SynthRows int    `json:"synth_rows"`
+	// TVDSource records how the TVD metrics were computed: "exact"
+	// (model marginals by variable elimination, the default) or
+	// "sampled" (empirical marginals of the synthetic sample).
+	TVDSource string    `json:"tvd_source"`
 	Eps       []float64 `json:"eps"`
 	Results   []Result  `json:"results"`
 	Pass      bool      `json:"pass"`
@@ -117,12 +130,16 @@ func seedFor(labels ...any) int64 {
 // Report.Pass, which the caller (cmd/quality) turns into an exit code.
 func Run(ctx context.Context, opt Options) (*Report, error) {
 	rep := &Report{
-		Schema:    "privbayes-quality/v1",
+		Schema:    "privbayes-quality/v2",
 		TrainRows: opt.TrainRows,
 		TestRows:  opt.TestRows,
 		SynthRows: opt.SynthRows,
+		TVDSource: "exact",
 		Eps:       opt.Eps,
 		Pass:      true,
+	}
+	if opt.SampleTVD {
+		rep.TVDSource = "sampled"
 	}
 	for si := range opt.Scenarios {
 		sc := &opt.Scenarios[si]
@@ -181,14 +198,65 @@ func runCell(ctx context.Context, sc *Scenario, train, test *dataset.Dataset, ev
 		synth = uniformResample(synth, seedFor(sc.Name, eps, "sabotage"))
 	}
 
-	res.TVD2 = evals[0].AVDDataset(synth)
-	res.TVD3 = evals[1].AVDDataset(synth)
+	if opt.SampleTVD {
+		res.TVD2 = evals[0].AVDDataset(synth)
+		res.TVD3 = evals[1].AVDDataset(synth)
+	} else {
+		// Exact path: every workload marginal is answered by variable
+		// elimination on the released model — no sampling error. Under
+		// BreakSampler the queried model is flattened to uniform
+		// conditionals, so the sabotaged release fails this path exactly
+		// as the resampled dataset fails the sampled one.
+		queried := model
+		if opt.BreakSampler {
+			queried = uniformizeModel(model)
+		}
+		answer := func(attrs []int) (*marginal.Table, error) {
+			names := make([]string, len(attrs))
+			for j, a := range attrs {
+				names[j] = queried.Attrs[a].Name
+			}
+			qres, err := queried.Query(ctx, privbayes.Marginal(names...),
+				privbayes.QueryParallelism(opt.Parallelism))
+			if err != nil {
+				return nil, err
+			}
+			return qres.Table(), nil
+		}
+		if res.TVD2, err = evals[0].AVDExact(answer); err != nil {
+			return res, fmt.Errorf("exact 2-way TVD: %w", err)
+		}
+		if res.TVD3, err = evals[1].AVDExact(answer); err != nil {
+			return res, fmt.Errorf("exact 3-way TVD: %w", err)
+		}
+	}
 
 	res.SVMError, err = SVMError(synth, test, sc.Task, seedFor(sc.Name, eps, "svm"))
 	if err != nil {
 		return res, fmt.Errorf("svm on synthetic: %w", err)
 	}
 	return res, nil
+}
+
+// uniformizeModel returns a copy of the model with every conditional
+// table flattened to the uniform distribution — the exact-inference
+// counterpart of uniformResample: the broken release preserves neither
+// correlations nor marginal shapes, so the exact TVD path must trip the
+// gate on it just as the sampled path trips on the resampled dataset.
+func uniformizeModel(m *privbayes.Model) *privbayes.Model {
+	conds := make([]*marginal.Conditional, len(m.Conds))
+	for i, c := range m.Conds {
+		cc := *c
+		cc.P = make([]float64, len(c.P))
+		u := 1 / float64(c.XDim)
+		for j := range cc.P {
+			cc.P[j] = u
+		}
+		conds[i] = &cc
+	}
+	mm := *m
+	mm.Conds = conds
+	return &mm
 }
 
 // uniformResample is the deliberately broken sampler: every attribute

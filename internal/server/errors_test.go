@@ -100,6 +100,18 @@ func TestErrorPaths(t *testing.T) {
 		{"marginal bad json", "POST", "/models/fixture/marginal", "application/json", `{`, 400, "decode request body"},
 		{"marginal no attrs", "POST", "/models/fixture/marginal", "application/json", `{"attrs":[]}`, 400, "at least one attribute"},
 		{"marginal unknown attr", "POST", "/models/fixture/marginal", "application/json", `{"attrs":["height"]}`, 400, `unknown attribute "height"`},
+		{"marginal over cap", "POST", "/models/fixture/marginal", "application/json", `{"attrs":["color","age"],"max_cells":2}`, 422, "cell cap"},
+
+		{"unknown model query", "POST", "/models/ghost/query", "application/json", `{"kind":"marginal","attrs":[{"name":"color"}]}`, 404, "ghost"},
+		{"query bad json", "POST", "/models/fixture/query", "application/json", `{`, 400, "decode request body"},
+		{"query unknown kind", "POST", "/models/fixture/query", "application/json", `{"kind":"median"}`, 400, `unknown query kind "median"`},
+		{"query no attrs", "POST", "/models/fixture/query", "application/json", `{"kind":"marginal"}`, 400, "names no attributes"},
+		{"query unknown attr", "POST", "/models/fixture/query", "application/json", `{"kind":"marginal","attrs":[{"name":"height"}]}`, 400, `unknown attribute "height"`},
+		{"query bad level", "POST", "/models/fixture/query", "application/json", `{"kind":"marginal","attrs":[{"name":"color","level":7}]}`, 400, "taxonomy level"},
+		{"query over cap", "POST", "/models/fixture/query", "application/json", `{"kind":"marginal","attrs":[{"name":"color"},{"name":"age"}],"max_cells":2}`, 422, "cell cap"},
+		{"query prob no predicates", "POST", "/models/fixture/query", "application/json", `{"kind":"prob"}`, 400, "at least one predicate"},
+		{"query unknown value", "POST", "/models/fixture/query", "application/json", `{"kind":"prob","where":[{"attr":"color","values":["mauve"]}]}`, 400, `no value "mauve"`},
+		{"query target is evidence", "POST", "/models/fixture/query", "application/json", `{"kind":"conditional","attrs":[{"name":"color"}],"where":[{"attr":"color","values":["red"]}]}`, 400, "both a query target and a predicate"},
 
 		{"upload garbage", "POST", "/models", "application/json", `{"version":1,"model":{"Attrs":[]}}`, 422, "invalid model artifact"},
 		{"upload empty", "POST", "/models", "application/json", ``, 422, "invalid model artifact"},

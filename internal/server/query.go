@@ -1,0 +1,117 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"privbayes/internal/core"
+)
+
+// QueryRequest is the body of POST /models/{id}/query — the wire form
+// of the v2 query AST (core.Query) plus execution knobs. Kind is one of
+// "marginal", "conditional", "prob" or "count".
+type QueryRequest struct {
+	Kind  string           `json:"kind"`
+	Attrs []core.AttrRef   `json:"attrs,omitempty"`
+	Where []core.Predicate `json:"where,omitempty"`
+	// N scales a count answer: the expected count among N rows.
+	N int `json:"n,omitempty"`
+	// MaxCells bounds the intermediate inference factor; it is clamped
+	// to the server's ceiling (core.DefaultInferenceCells), so clients
+	// can only tighten the bound, never lift it.
+	MaxCells int `json:"max_cells,omitempty"`
+	// Parallelism asks for up to this many workers from the server's
+	// budget; 0 accepts the server default.
+	Parallelism int `json:"parallelism,omitempty"`
+}
+
+// queryKindFromWire maps a wire kind name to the AST discriminator.
+func queryKindFromWire(kind string) (core.QueryKind, error) {
+	switch kind {
+	case "marginal":
+		return core.QueryMarginal, nil
+	case "conditional":
+		return core.QueryConditional, nil
+	case "prob":
+		return core.QueryProb, nil
+	case "count":
+		return core.QueryCount, nil
+	default:
+		return 0, fmt.Errorf("unknown query kind %q (want marginal, conditional, prob or count)", kind)
+	}
+}
+
+// handleQuery answers an exact query against a registered model through
+// the variable-elimination engine (core.Model.Query) — no sampling, no
+// privacy cost, since the model is the ε-DP release itself. Compile
+// errors (unknown attributes, malformed ASTs) map to 400; queries that
+// are well-formed but unanswerable — an over-cap intermediate factor,
+// conditioning on zero-probability evidence — map to 422.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	model, meta, err := s.registry.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, statusFor(err), "%v", err)
+		return
+	}
+	var req QueryRequest
+	body := http.MaxBytesReader(w, r.Body, 1<<20)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decode request body: %v", err)
+		return
+	}
+	kind, err := queryKindFromWire(req.Kind)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	q := core.Query{Kind: kind, Attrs: req.Attrs, Where: req.Where, N: req.N}
+	// The cells bound is a memory guard: honor a client's tighter bound,
+	// never a looser one.
+	if req.MaxCells <= 0 || req.MaxCells > core.DefaultInferenceCells {
+		req.MaxCells = core.DefaultInferenceCells
+	}
+	// Inference runs on workers from the shared budget, like synthesis.
+	got, release, err := s.workers.acquire(r.Context(), s.requestWorkers(req.Parallelism))
+	if err != nil {
+		return // client gone while waiting for workers
+	}
+	res, err := model.Query(r.Context(), q,
+		core.QueryMaxCells(req.MaxCells), core.QueryParallelism(got))
+	release()
+	if err != nil {
+		writeError(w, statusFor(err), "%v", err)
+		return
+	}
+	w.Header().Set("X-Privbayes-Model", meta.ID)
+	writeJSON(w, http.StatusOK, res)
+}
+
+// Query answers an exact query against a registered model (see
+// core.Model.Query and POST /models/{id}/query).
+func (c *Client) Query(ctx context.Context, id string, qr QueryRequest) (core.QueryResult, error) {
+	body, err := json.Marshal(qr)
+	if err != nil {
+		return core.QueryResult{}, err
+	}
+	u := c.BaseURL + "/models/" + url.PathEscape(id) + "/query"
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, strings.NewReader(string(body)))
+	if err != nil {
+		return core.QueryResult{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return core.QueryResult{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return core.QueryResult{}, apiError(resp)
+	}
+	defer resp.Body.Close()
+	var out core.QueryResult
+	err = json.NewDecoder(resp.Body).Decode(&out)
+	return out, err
+}

@@ -16,7 +16,8 @@
 //	POST /models[?id=...]          upload a SaveModel artifact
 //	GET  /models/{id}              model metadata (network, ε, schema)
 //	GET  /models/{id}/synthesize   stream synthetic rows (also POST)
-//	POST /models/{id}/marginal     exact marginal inference
+//	POST /models/{id}/marginal     exact marginal inference (v1 wire form)
+//	POST /models/{id}/query        exact query: marginal/conditional/prob/count
 //	POST /fit                      curator mode: CSV + schema + ε -> model
 //	GET  /budget                   per-dataset privacy-budget ledger
 package server
@@ -39,6 +40,7 @@ import (
 	"privbayes/internal/accountant"
 	"privbayes/internal/core"
 	"privbayes/internal/dataset"
+	"privbayes/internal/infer"
 	"privbayes/internal/parallel"
 )
 
@@ -145,6 +147,7 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("GET /models/{id}/synthesize", s.handleSynthesize)
 	mux.HandleFunc("POST /models/{id}/synthesize", s.handleSynthesize)
 	mux.HandleFunc("POST /models/{id}/marginal", s.handleMarginal)
+	mux.HandleFunc("POST /models/{id}/query", s.handleQuery)
 	mux.HandleFunc("POST /fit", s.handleFit)
 	mux.HandleFunc("GET /budget", s.handleBudget)
 	s.mux = mux
@@ -226,6 +229,11 @@ func statusFor(err error) int {
 	case errors.Is(err, accountant.ErrBudgetExceeded):
 		return http.StatusForbidden
 	case errors.Is(err, core.ErrInvalidModel):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, infer.ErrTooLarge), errors.Is(err, core.ErrImpossibleEvidence):
+		// Well-formed but unanswerable: the query compiled, the model
+		// cannot answer it (factor over the cell cap, zero-mass
+		// evidence).
 		return http.StatusUnprocessableEntity
 	default:
 		return http.StatusBadRequest
@@ -487,8 +495,12 @@ type marginalRequest struct {
 	MaxCells int `json:"max_cells"`
 }
 
-// handleMarginal answers a marginal query by exact forward inference on
-// the model (Model.InferMarginal) — no sampling error, no privacy cost.
+// handleMarginal answers a raw-level marginal by exact inference on the
+// model — no sampling error, no privacy cost. It is the v1 wire form of
+// the query engine: the request compiles to core.Marginal(attrs...) and
+// runs through Model.Query, so its answers are byte-identical to the
+// richer POST /models/{id}/query endpoint (and to the InferMarginal
+// answers it historically served).
 func (s *Server) handleMarginal(w http.ResponseWriter, r *http.Request) {
 	model, _, err := s.registry.Get(r.PathValue("id"))
 	if err != nil {
@@ -510,26 +522,13 @@ func (s *Server) handleMarginal(w http.ResponseWriter, r *http.Request) {
 	if req.MaxCells <= 0 || req.MaxCells > core.DefaultInferenceCells {
 		req.MaxCells = core.DefaultInferenceCells
 	}
-	idx := make([]int, len(req.Attrs))
-	for i, name := range req.Attrs {
-		idx[i] = -1
-		for a := range model.Attrs {
-			if model.Attrs[a].Name == name {
-				idx[i] = a
-				break
-			}
-		}
-		if idx[i] < 0 {
-			writeError(w, http.StatusBadRequest, "unknown attribute %q", name)
-			return
-		}
-	}
-	table, err := model.InferMarginal(idx, req.MaxCells)
+	res, err := model.Query(r.Context(), core.Marginal(req.Attrs...),
+		core.QueryMaxCells(req.MaxCells), core.QueryParallelism(1))
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		writeError(w, statusFor(err), "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, MarginalResult{Attrs: req.Attrs, Dims: table.Dims, P: table.P})
+	writeJSON(w, http.StatusOK, MarginalResult{Attrs: req.Attrs, Dims: res.Dims, P: res.P})
 }
 
 // handleFit is curator mode: a multipart upload of schema + CSV + ε

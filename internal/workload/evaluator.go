@@ -58,6 +58,26 @@ func (e *Evaluator) AVDDataset(ds *dataset.Dataset) float64 {
 	return e.AVD(&baseline.Dataset{DS: ds})
 }
 
+// AVDExact evaluates an exact answerer — typically a fitted model's
+// query engine — over the evaluator's query subsets: answer receives
+// each subset's attribute indices and returns the model's marginal for
+// it. Unlike AVDDataset, the answers carry no sampling error, so the
+// returned distance measures model fidelity alone.
+func (e *Evaluator) AVDExact(answer func(attrs []int) (*marginal.Table, error)) (float64, error) {
+	if len(e.Subsets) == 0 {
+		return 0, nil
+	}
+	var sum float64
+	for i, attrs := range e.Subsets {
+		t, err := answer(attrs)
+		if err != nil {
+			return 0, err
+		}
+		sum += marginal.TVD(e.truth[i], t)
+	}
+	return sum / float64(len(e.Subsets)), nil
+}
+
 // AVD returns the average total-variation distance of the source's
 // answers over the evaluator's query subsets.
 func (e *Evaluator) AVD(src baseline.MarginalSource) float64 {

@@ -1,0 +1,88 @@
+package privbayes
+
+import (
+	"privbayes/internal/core"
+	"privbayes/internal/infer"
+)
+
+// The v2 query API: exact inference over a fitted model, no sampling.
+// Build a Query with Marginal, Conditional, Prob or Count, refine it
+// with AtLevel / Given, and answer it with Model.Query:
+//
+//	res, err := model.Query(ctx,
+//		privbayes.Conditional([]string{"income"}, privbayes.Eq("education", "phd")),
+//		privbayes.QueryMaxCells(1<<20),
+//	)
+//
+// Answers are computed by variable elimination over the released
+// conditional tables (internal/infer): exact under the model, free of
+// sampling error, and — because the model is the ε-DP release — free of
+// further privacy cost.
+
+// Query is one exact inference request against a fitted model.
+type Query = core.Query
+
+// QueryKind discriminates the query AST.
+type QueryKind = core.QueryKind
+
+// Query kinds.
+const (
+	QueryMarginal    = core.QueryMarginal
+	QueryConditional = core.QueryConditional
+	QueryProb        = core.QueryProb
+	QueryCount       = core.QueryCount
+)
+
+// AttrRef names one target axis of a query, optionally rolled up to a
+// taxonomy level.
+type AttrRef = core.AttrRef
+
+// Predicate constrains one attribute to a set of values.
+type Predicate = core.Predicate
+
+// QueryResult is the answer to a Query: a dense distribution for
+// marginal/conditional queries, a scalar for prob/count queries.
+type QueryResult = core.QueryResult
+
+// QueryOption configures Model.Query in the functional-option style of
+// the v2 API.
+type QueryOption = core.QueryOption
+
+// ErrQueryTooLarge tags rejection of a query whose intermediate
+// inference factor would exceed the cell cap (see QueryMaxCells);
+// callers branch on errors.Is to fall back to sampling.
+var ErrQueryTooLarge = infer.ErrTooLarge
+
+// ErrImpossibleEvidence reports a conditional query whose evidence has
+// zero probability under the model.
+var ErrImpossibleEvidence = core.ErrImpossibleEvidence
+
+// Marginal builds a marginal query P(attrs...).
+func Marginal(attrs ...string) Query { return core.Marginal(attrs...) }
+
+// Conditional builds a conditional query P(targets... | given...).
+func Conditional(targets []string, given ...Predicate) Query {
+	return core.Conditional(targets, given...)
+}
+
+// Prob builds a scalar probability query P(where...).
+func Prob(where ...Predicate) Query { return core.Prob(where...) }
+
+// Count builds an expected-count query n · P(where...).
+func Count(n int, where ...Predicate) Query { return core.Count(n, where...) }
+
+// Eq builds an equality predicate attr = value.
+func Eq(attr, value string) Predicate { return core.Eq(attr, value) }
+
+// In builds a set-membership predicate attr ∈ {values...}.
+func In(attr string, values ...string) Predicate { return core.In(attr, values...) }
+
+// QueryMaxCells caps the intermediate inference factor; <= 0 selects
+// the default bound. Over-cap queries fail with an error wrapping
+// ErrQueryTooLarge rather than allocating.
+func QueryMaxCells(cells int) QueryOption { return core.QueryMaxCells(cells) }
+
+// QueryParallelism bounds the workers fanning out large factor
+// products; <= 0 uses all CPU cores. Every setting returns
+// bit-identical answers.
+func QueryParallelism(p int) QueryOption { return core.QueryParallelism(p) }
