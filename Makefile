@@ -4,7 +4,7 @@
 GO ?= go
 
 .PHONY: all build test race bench bench-json serve lint cover fmt \
-	apicheck api-baseline examples quality fuzz
+	apicheck api-baseline examples quality fuzz crashsafety
 
 # Minimum total statement coverage accepted by `make cover` (percent).
 COVER_FLOOR ?= 70
@@ -78,6 +78,17 @@ quality:
 fuzz:
 	$(GO) test -run NONE -fuzz 'FuzzReadModelJSON$$' -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run NONE -fuzz 'FuzzReadCSV$$' -fuzztime $(FUZZTIME) ./internal/dataset
+
+# Crash-loop harness over the real binary: kill -9 privbayesd at 24
+# points spread across a curator fit, restart over the same state dir,
+# and verify no ε charge is lost or double-spent and the retried
+# idempotent fit charges exactly once. Deterministic per-filesystem-op
+# crash sweeps live in `go test ./internal/wal ./internal/accountant`;
+# this target is the real-process tier-2 gate. CRASHSAFETY_DIR, when
+# set, keeps every iteration's state directory for post-mortem.
+crashsafety:
+	PRIVBAYES_CRASHSAFETY=1 PRIVBAYES_CRASHSAFETY_DIR=$(CRASHSAFETY_DIR) \
+		$(GO) test -run 'TestCrashLoop' -v -timeout 20m ./cmd/privbayesd
 
 # Run the synthesis-serving daemon locally: loads models from ./models,
 # meters curator fits in ./models/ledger.json.

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	privbayesd -addr :8131 -models-dir models -ledger models/ledger.json
+//	privbayesd -addr :8131 -models-dir models -ledger models/ledger.wal
 //
 // Then:
 //
@@ -14,6 +14,13 @@
 //	curl 'localhost:8131/models/adult-v1/synthesize?n=100000&seed=7' > syn.csv
 //	curl -X POST localhost:8131/models/adult-v1/marginal \
 //	     -d '{"attrs":["age","income"]}'
+//
+// The ledger is a crash-safe write-ahead log: every ε charge is fsynced
+// before it is acknowledged, so kill -9 can neither lose a committed
+// charge nor double-spend the budget. Legacy JSON ledger files are
+// migrated in place on first open. A corrupt ledger refuses startup;
+// -ledger-fsck truncates it at the first damaged record after the
+// operator has decided the tail is expendable.
 //
 // The daemon prints "listening on <addr>" once the socket is bound, so
 // -addr 127.0.0.1:0 works for tests and local experiments.
@@ -36,51 +43,89 @@ import (
 	"privbayes/internal/server"
 )
 
+// options carries every flag from main to run.
+type options struct {
+	addr          string
+	modelsDir     string
+	ledgerPath    string
+	ledgerFsck    bool
+	budget        float64
+	workers       int
+	reqPar        int
+	maxRows       int
+	maxMB         int64
+	maxQueue      int
+	maxFits       int
+	readTimeout   time.Duration
+	writeTimeout  time.Duration
+	shutdownGrace time.Duration
+}
+
 func main() {
-	var (
-		addr      = flag.String("addr", ":8131", "listen address (host:port; port 0 picks a free port)")
-		modelsDir = flag.String("models-dir", "models", "directory of model artifacts loaded at startup and receiving new fits/uploads")
-		ledger    = flag.String("ledger", "", "privacy-budget ledger file for curator mode (empty = in-memory ledger)")
-		budget    = flag.Float64("budget", 2.0, "default per-dataset ε budget for curator-mode fits")
-		workers   = flag.Int("max-workers", 0, "server-wide sampling/fitting worker budget (0 = all cores)")
-		reqPar    = flag.Int("max-request-parallelism", 0, "max workers one request may claim (0 = whole budget)")
-		maxRows   = flag.Int("max-rows", server.DefaultMaxSynthesisRows, "max synthetic rows per request")
-		maxMB     = flag.Int64("max-upload-mb", 256, "max upload size (model artifacts and fit CSVs), in MiB")
-	)
+	var o options
+	flag.StringVar(&o.addr, "addr", ":8131", "listen address (host:port; port 0 picks a free port)")
+	flag.StringVar(&o.modelsDir, "models-dir", "models", "directory of model artifacts loaded at startup and receiving new fits/uploads")
+	flag.StringVar(&o.ledgerPath, "ledger", "", "privacy-budget ledger WAL for curator mode (empty = in-memory ledger; legacy JSON ledgers migrate in place)")
+	flag.BoolVar(&o.ledgerFsck, "ledger-fsck", false, "repair a corrupt ledger by truncating it at the first damaged record, then continue startup (records from the damage onward are lost)")
+	flag.Float64Var(&o.budget, "budget", 2.0, "default per-dataset ε budget for curator-mode fits")
+	flag.IntVar(&o.workers, "max-workers", 0, "server-wide sampling/fitting worker budget (0 = all cores)")
+	flag.IntVar(&o.reqPar, "max-request-parallelism", 0, "max workers one request may claim (0 = whole budget)")
+	flag.IntVar(&o.maxRows, "max-rows", server.DefaultMaxSynthesisRows, "max synthetic rows per request")
+	flag.Int64Var(&o.maxMB, "max-upload-mb", 256, "max upload size (model artifacts and fit CSVs), in MiB")
+	flag.IntVar(&o.maxQueue, "max-queue-depth", server.DefaultMaxQueueDepth, "requests allowed to wait for workers before new arrivals get 503 + Retry-After")
+	flag.IntVar(&o.maxFits, "max-fits-per-dataset", server.DefaultMaxFitsPerDataset, "concurrent fits per dataset id before new fits get 429 + Retry-After")
+	flag.DurationVar(&o.readTimeout, "read-timeout", 10*time.Minute, "max duration for reading one request incl. body (0 = unlimited; bound fit-upload stalls)")
+	flag.DurationVar(&o.writeTimeout, "write-timeout", 30*time.Minute, "max duration for writing one response (0 = unlimited; bounds abandoned synthesis streams)")
+	flag.DurationVar(&o.shutdownGrace, "shutdown-grace", 10*time.Second, "drain period for in-flight requests on SIGINT/SIGTERM before force-close")
 	cliutil.Parse("privbayesd", "serve synthesis, inference and budget-metered fitting of PrivBayes models over HTTP")
-	if err := run(*addr, *modelsDir, *ledger, *budget, *workers, *reqPar, *maxRows, *maxMB); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "privbayesd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, modelsDir, ledgerPath string, budget float64, workers, reqPar, maxRows int, maxMB int64) error {
+func run(o options) error {
 	logf := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "privbayesd: "+format+"\n", args...)
 	}
 	var ledger *accountant.Ledger
 	var err error
-	if ledgerPath != "" {
-		if ledger, err = accountant.Open(ledgerPath, budget); err != nil {
+	if o.ledgerPath != "" {
+		ledger, err = accountant.OpenWAL(o.ledgerPath, o.budget,
+			accountant.Options{Fsck: o.ledgerFsck, Logf: logf})
+		if err != nil {
+			var ce *accountant.CorruptError
+			if errors.As(err, &ce) {
+				// Refusing to serve beats silently mis-accounting ε. The
+				// operator decides whether the damaged tail is expendable.
+				return fmt.Errorf("ledger %s is corrupt at byte offset %d (%s).\n"+
+					"privbayesd refuses to start on a damaged privacy ledger: charges after the damage may be unaccounted.\n"+
+					"To repair by truncating at the damage (losing any records after it), rerun with -ledger-fsck.\n"+
+					"To keep the file for inspection first, copy it elsewhere before repairing.",
+					ce.Path, ce.Offset, ce.Reason)
+			}
 			return err
 		}
+		defer ledger.Close()
 	} else {
-		ledger = accountant.New(budget)
+		ledger = accountant.New(o.budget)
 		logf("no -ledger file: privacy budgets reset on restart")
 	}
 	srv, err := server.New(server.Config{
-		ModelsDir:             modelsDir,
+		ModelsDir:             o.modelsDir,
 		Ledger:                ledger,
-		MaxWorkers:            workers,
-		MaxRequestParallelism: reqPar,
-		MaxSynthesisRows:      maxRows,
-		MaxUploadBytes:        maxMB << 20,
+		MaxWorkers:            o.workers,
+		MaxRequestParallelism: o.reqPar,
+		MaxSynthesisRows:      o.maxRows,
+		MaxUploadBytes:        o.maxMB << 20,
+		MaxQueueDepth:         o.maxQueue,
+		MaxFitsPerDataset:     o.maxFits,
 		Logf:                  logf,
 	})
 	if err != nil {
 		return err
 	}
-	ln, err := net.Listen("tcp", addr)
+	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {
 		return err
 	}
@@ -90,10 +135,13 @@ func run(addr, modelsDir, ledgerPath string, budget float64, workers, reqPar, ma
 	hs := &http.Server{
 		Handler: srv,
 		// Header and idle timeouts bound slow-loris and abandoned
-		// keep-alive connections. No overall read/write timeout: fit
-		// uploads and synthesis streams are legitimately long-lived,
-		// and the worker budget already guards the compute path.
+		// keep-alive connections; the read/write timeouts bound whole
+		// requests, so a stalled fit upload or an abandoned synthesis
+		// stream cannot hold its connection forever. Legitimately huge
+		// transfers can lift them via the flags.
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       o.readTimeout,
+		WriteTimeout:      o.writeTimeout,
 		IdleTimeout:       2 * time.Minute,
 	}
 
@@ -111,7 +159,7 @@ func run(addr, modelsDir, ledgerPath string, budget float64, workers, reqPar, ma
 		return err
 	case <-ctx.Done():
 		logf("shutting down")
-		grace, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		grace, cancel := context.WithTimeout(context.Background(), o.shutdownGrace)
 		defer cancel()
 		if err := hs.Shutdown(grace); err != nil {
 			hs.Close()

@@ -3,9 +3,18 @@
 // PrivBayes run (ε = ε₁ + ε₂ inside a single Fit), this ledger budgets
 // a *dataset* across its lifetime: every model the curator fits against
 // dataset D composes sequentially, so the serving daemon must refuse a
-// fit whose ε would push D's cumulative spend past its budget. The
-// ledger persists as JSON so restarts — and multiple daemon runs over
-// the same data directory — cannot silently reset the budget.
+// fit whose ε would push D's cumulative spend past its budget.
+//
+// Durability comes in two grades. OpenWAL (the serving default) commits
+// every mutation through an append-only, checksummed, fsync'd
+// write-ahead log (internal/wal) before acknowledging it, so a crash at
+// any instant — kill -9 mid-append included — can never lose an
+// acknowledged charge nor double-spend ε on recovery; the log compacts
+// itself into checkpoints as it grows, and charges may carry an
+// idempotency key so a retried fit after an ambiguous failure charges
+// exactly once even across a crash and restart. Open (legacy) persists
+// the whole ledger as a JSON document via atomic rename with file and
+// directory fsync; OpenWAL migrates such files in place.
 package accountant
 
 import (
@@ -14,10 +23,12 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"os"
 	"path/filepath"
 	"sort"
 	"sync"
+
+	"privbayes/internal/faultfs"
+	"privbayes/internal/wal"
 )
 
 // ErrBudgetExceeded tags every charge rejected by a ledger; match with
@@ -27,6 +38,32 @@ var ErrBudgetExceeded = errors.New("accountant: privacy budget exceeded")
 // ErrPersist tags failures to make a ledger mutation durable (disk
 // full, permissions). These are server-side faults, not caller errors.
 var ErrPersist = errors.New("accountant: ledger persistence failed")
+
+// ErrLedgerCorrupt tags recovery failures where the ledger file exists
+// but cannot be trusted; match with errors.Is. The concrete error is a
+// *CorruptError carrying the byte offset of the damage. The daemon must
+// refuse to serve on this error — guessing at ε spend fails open.
+var ErrLedgerCorrupt = errors.New("accountant: ledger corrupt")
+
+// ErrIdempotencyMismatch is returned when an idempotency key is reused
+// with a different dataset or ε than the charge it originally named.
+var ErrIdempotencyMismatch = errors.New("accountant: idempotency key reused with different parameters")
+
+// CorruptError reports ledger damage recovery refused to repair
+// silently. Opening with Options.Fsck truncates the log at Offset
+// instead, sacrificing records from the damage onward.
+type CorruptError struct {
+	Path   string
+	Offset int64
+	Reason string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("accountant: ledger %s corrupt at byte %d: %s", e.Path, e.Offset, e.Reason)
+}
+
+// Is makes errors.Is(err, ErrLedgerCorrupt) match.
+func (e *CorruptError) Is(target error) bool { return target == ErrLedgerCorrupt }
 
 // BudgetError reports a rejected charge.
 type BudgetError struct {
@@ -78,9 +115,34 @@ type ledgerJSON struct {
 type Ledger struct {
 	mu            sync.Mutex
 	path          string // "" = in-memory only
+	fs            faultfs.FS
 	defaultBudget float64
 	datasets      map[string]Entry
+
+	// WAL mode (OpenWAL): every mutation appends one fsync'd record.
+	log          *wal.Log
+	compactEvery int
+	logf         func(format string, args ...any)
+
+	// keys maps idempotency keys to their recorded charge, surviving
+	// compaction (checkpointed) and restarts (replayed). keyOrder is
+	// FIFO so the map stays bounded at maxIdemKeys.
+	keys     map[string]KeyInfo
+	keyOrder []string
 }
+
+// KeyInfo records the charge an idempotency key committed.
+type KeyInfo struct {
+	Dataset string  `json:"dataset"`
+	Eps     float64 `json:"eps"`
+	// ModelID is the model the charged fit was going to register, so a
+	// post-crash retry can find (or recreate) it without re-charging.
+	ModelID string `json:"model_id,omitempty"`
+}
+
+// maxIdemKeys bounds the idempotency-key history; the oldest keys are
+// forgotten first, after which a very stale retry would charge again.
+const maxIdemKeys = 4096
 
 // New creates an in-memory ledger. Datasets not configured via
 // SetBudget get defaultBudget, which must be positive.
@@ -88,24 +150,39 @@ func New(defaultBudget float64) *Ledger {
 	if !(defaultBudget > 0) {
 		panic(fmt.Sprintf("accountant: default budget must be positive, got %g", defaultBudget))
 	}
-	return &Ledger{defaultBudget: defaultBudget, datasets: map[string]Entry{}}
+	return &Ledger{defaultBudget: defaultBudget, fs: faultfs.OS,
+		datasets: map[string]Entry{}, keys: map[string]KeyInfo{}}
 }
 
-// Open creates a file-backed ledger at path, loading existing state if
-// the file exists. The file's recorded per-dataset budgets win over
-// defaultBudget; defaultBudget applies to datasets first seen later.
+// Open creates a legacy JSON file-backed ledger at path, loading
+// existing state if the file exists. The file's recorded per-dataset
+// budgets win over defaultBudget; defaultBudget applies to datasets
+// first seen later. New deployments should prefer OpenWAL, which
+// survives crashes mid-write; Open remains for the rewrite-everything
+// JSON format.
 func Open(path string, defaultBudget float64) (*Ledger, error) {
 	if !(defaultBudget > 0) {
 		return nil, fmt.Errorf("accountant: default budget must be positive, got %g", defaultBudget)
 	}
-	l := &Ledger{path: path, defaultBudget: defaultBudget, datasets: map[string]Entry{}}
-	raw, err := os.ReadFile(path)
-	if errors.Is(err, os.ErrNotExist) {
+	l := &Ledger{path: path, fs: faultfs.OS, defaultBudget: defaultBudget,
+		datasets: map[string]Entry{}, keys: map[string]KeyInfo{}}
+	raw, err := l.fs.ReadFile(path)
+	if isNotExist(err) {
 		return l, nil
 	}
 	if err != nil {
 		return nil, fmt.Errorf("accountant: read ledger: %w", err)
 	}
+	entries, err := parseLegacy(path, raw)
+	if err != nil {
+		return nil, err
+	}
+	l.datasets = entries
+	return l, nil
+}
+
+// parseLegacy decodes and validates the rewrite-everything JSON format.
+func parseLegacy(path string, raw []byte) (map[string]Entry, error) {
 	// DisallowUnknownFields makes a clobbered ledger fail closed: if
 	// some other JSON document (say, a persisted model artifact) lands
 	// on this path, refusing to start beats silently loading an empty
@@ -114,18 +191,20 @@ func Open(path string, defaultBudget float64) (*Ledger, error) {
 	dec.DisallowUnknownFields()
 	var doc ledgerJSON
 	if err := dec.Decode(&doc); err != nil {
-		return nil, fmt.Errorf("accountant: parse ledger %s: %w", path, err)
+		return nil, &CorruptError{Path: path, Offset: dec.InputOffset(),
+			Reason: fmt.Sprintf("parse legacy ledger: %v", err)}
 	}
 	if doc.Version != ledgerVersion {
 		return nil, fmt.Errorf("accountant: ledger %s has unsupported version %d", path, doc.Version)
 	}
+	out := make(map[string]Entry, len(doc.Datasets))
 	for id, e := range doc.Datasets {
 		if e.Spent < 0 || !(e.Budget > 0) || math.IsNaN(e.Spent) {
 			return nil, fmt.Errorf("accountant: ledger %s: dataset %q has invalid entry (spent %g, budget %g)", path, id, e.Spent, e.Budget)
 		}
-		l.datasets[id] = e
+		out[id] = e
 	}
-	return l, nil
+	return out, nil
 }
 
 // entryLocked returns the dataset's entry, materializing the default
@@ -147,34 +226,81 @@ const chargeTol = 1e-9
 // A rejected charge leaves the ledger untouched and returns a
 // *BudgetError matching ErrBudgetExceeded.
 func (l *Ledger) Charge(dataset string, eps float64) error {
+	_, _, err := l.charge(dataset, eps, "", "")
+	return err
+}
+
+// ChargeIdempotent is Charge with exactly-once semantics under retries:
+// the first charge under key commits durably along with key and
+// modelID; any later charge under the same key (same dataset and ε) is
+// a no-op returning duplicate=true and the originally recorded model
+// id — across process restarts too, because the key rides in the WAL
+// record and every checkpoint. Reusing a key with different parameters
+// fails with ErrIdempotencyMismatch.
+func (l *Ledger) ChargeIdempotent(dataset string, eps float64, key, modelID string) (duplicate bool, prevModelID string, err error) {
+	if key == "" {
+		return false, "", errors.New("accountant: empty idempotency key")
+	}
+	return l.charge(dataset, eps, key, modelID)
+}
+
+func (l *Ledger) charge(dataset string, eps float64, key, modelID string) (duplicate bool, prevModelID string, err error) {
 	if dataset == "" {
-		return errors.New("accountant: empty dataset id")
+		return false, "", errors.New("accountant: empty dataset id")
 	}
 	if !(eps > 0) || math.IsInf(eps, 1) {
-		return fmt.Errorf("accountant: charge must be positive and finite, got %g", eps)
+		return false, "", fmt.Errorf("accountant: charge must be positive and finite, got %g", eps)
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if key != "" {
+		if info, ok := l.keys[key]; ok {
+			if info.Dataset != dataset || math.Abs(info.Eps-eps) > chargeTol {
+				return false, "", fmt.Errorf("%w: key %q charged dataset %q ε=%g, retried with dataset %q ε=%g",
+					ErrIdempotencyMismatch, key, info.Dataset, info.Eps, dataset, eps)
+			}
+			return true, info.ModelID, nil
+		}
+	}
 	e := l.entryLocked(dataset)
 	if e.Spent+eps > e.Budget*(1+chargeTol) {
-		return &BudgetError{Dataset: dataset, Requested: eps, Spent: e.Spent, Budget: e.Budget}
+		return false, "", &BudgetError{Dataset: dataset, Requested: eps, Spent: e.Spent, Budget: e.Budget}
 	}
 	e.Spent += eps
 	l.datasets[dataset] = e
-	if err := l.persistLocked(); err != nil {
+	if key != "" {
+		l.addKeyLocked(key, KeyInfo{Dataset: dataset, Eps: eps, ModelID: modelID})
+	}
+	rec := walRecord{Op: opCharge, Dataset: dataset, Eps: eps, Key: key, ModelID: modelID,
+		Spent: e.Spent, Budget: e.Budget}
+	if err := l.commitLocked(rec); err != nil {
 		// Roll back: a charge that cannot be made durable is not
 		// acknowledged, so the caller must not release the fit.
 		e.Spent -= eps
 		l.datasets[dataset] = e
-		return err
+		if key != "" {
+			l.dropKeyLocked(key)
+		}
+		return false, "", err
 	}
-	return nil
+	return false, modelID, nil
 }
 
 // Refund returns eps to the dataset after a fit that failed before
 // releasing anything observable (sequential composition only charges
 // for released outputs). Refunding more than was spent clamps to zero.
 func (l *Ledger) Refund(dataset string, eps float64) error {
+	return l.refund(dataset, eps, "")
+}
+
+// RefundIdempotent is Refund for a charge made under an idempotency
+// key: alongside the refund it forgets the key, so a later retry with
+// the same key charges afresh instead of riding a refunded charge.
+func (l *Ledger) RefundIdempotent(dataset string, eps float64, key string) error {
+	return l.refund(dataset, eps, key)
+}
+
+func (l *Ledger) refund(dataset string, eps float64, key string) error {
 	if !(eps > 0) || math.IsInf(eps, 1) {
 		return fmt.Errorf("accountant: refund must be positive and finite, got %g", eps)
 	}
@@ -185,14 +311,23 @@ func (l *Ledger) Refund(dataset string, eps float64) error {
 		return nil
 	}
 	prev := e.Spent
+	prevKey, hadKey := l.keys[key]
 	e.Spent -= eps
 	if e.Spent < 0 {
 		e.Spent = 0
 	}
 	l.datasets[dataset] = e
-	if err := l.persistLocked(); err != nil {
+	if key != "" {
+		l.dropKeyLocked(key)
+	}
+	rec := walRecord{Op: opRefund, Dataset: dataset, Eps: eps, Key: key,
+		Spent: e.Spent, Budget: e.Budget}
+	if err := l.commitLocked(rec); err != nil {
 		e.Spent = prev
 		l.datasets[dataset] = e
+		if key != "" && hadKey {
+			l.addKeyLocked(key, prevKey)
+		}
 		return err
 	}
 	return nil
@@ -214,7 +349,8 @@ func (l *Ledger) SetBudget(dataset string, budget float64) error {
 	prev, had := l.datasets[dataset]
 	e.Budget = budget
 	l.datasets[dataset] = e
-	if err := l.persistLocked(); err != nil {
+	rec := walRecord{Op: opBudget, Dataset: dataset, Spent: e.Spent, Budget: e.Budget}
+	if err := l.commitLocked(rec); err != nil {
 		if had {
 			l.datasets[dataset] = prev
 		} else {
@@ -223,6 +359,43 @@ func (l *Ledger) SetBudget(dataset string, budget float64) error {
 		return err
 	}
 	return nil
+}
+
+// ChargedKey reports the charge recorded under an idempotency key, if
+// any — the post-crash path for deciding whether a retried fit already
+// paid.
+func (l *Ledger) ChargedKey(key string) (KeyInfo, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	info, ok := l.keys[key]
+	return info, ok
+}
+
+// addKeyLocked records key, evicting the oldest when over cap.
+func (l *Ledger) addKeyLocked(key string, info KeyInfo) {
+	if _, ok := l.keys[key]; !ok {
+		l.keyOrder = append(l.keyOrder, key)
+	}
+	l.keys[key] = info
+	for len(l.keyOrder) > maxIdemKeys {
+		old := l.keyOrder[0]
+		l.keyOrder = l.keyOrder[1:]
+		delete(l.keys, old)
+	}
+}
+
+// dropKeyLocked forgets key (rollbacks and refunds).
+func (l *Ledger) dropKeyLocked(key string) {
+	if _, ok := l.keys[key]; !ok {
+		return
+	}
+	delete(l.keys, key)
+	for i, k := range l.keyOrder {
+		if k == key {
+			l.keyOrder = append(l.keyOrder[:i], l.keyOrder[i+1:]...)
+			break
+		}
+	}
 }
 
 // Get returns the dataset's standing; unseen datasets report zero spend
@@ -260,8 +433,29 @@ func (l *Ledger) Datasets() []string {
 // layers use it to keep other writers (model persistence) off the file.
 func (l *Ledger) Path() string { return l.path }
 
-// persistLocked writes the ledger durably (temp file + rename) when
-// file-backed. Callers hold l.mu. Failures wrap ErrPersist.
+// commitLocked makes one mutation durable before it is acknowledged:
+// in WAL mode it appends a single fsync'd record (and opportunistically
+// compacts the log), in legacy mode it rewrites the whole JSON document
+// atomically. In-memory ledgers commit trivially. Callers hold l.mu.
+func (l *Ledger) commitLocked(rec walRecord) error {
+	if l.log != nil {
+		payload, err := json.Marshal(rec)
+		if err != nil {
+			return fmt.Errorf("%w: encode record: %v", ErrPersist, err)
+		}
+		if err := l.log.Append(payload); err != nil {
+			return fmt.Errorf("%w: %v", ErrPersist, err)
+		}
+		l.maybeCompactLocked()
+		return nil
+	}
+	return l.persistLocked()
+}
+
+// persistLocked writes the ledger durably in the legacy JSON format:
+// temp file in the same directory, file fsync, atomic rename, then
+// directory fsync so the rename itself survives a crash. Callers hold
+// l.mu. Failures wrap ErrPersist.
 func (l *Ledger) persistLocked() error {
 	if l.path == "" {
 		return nil
@@ -272,19 +466,41 @@ func (l *Ledger) persistLocked() error {
 		return fmt.Errorf("%w: encode: %v", ErrPersist, err)
 	}
 	dir := filepath.Dir(l.path)
-	tmp, err := os.CreateTemp(dir, ".ledger-*.json")
+	tmp, err := l.fs.CreateTemp(dir, ".ledger-*.json")
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrPersist, err)
 	}
 	_, werr := tmp.Write(append(raw, '\n'))
+	// fsync before rename: otherwise the rename can land while the data
+	// has not, and a crash leaves a durable name on torn content.
+	serr := tmp.Sync()
 	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("%w: write %v, close %v", ErrPersist, werr, cerr)
+	if werr != nil || serr != nil || cerr != nil {
+		l.fs.Remove(tmp.Name())
+		return fmt.Errorf("%w: write %v, sync %v, close %v", ErrPersist, werr, serr, cerr)
 	}
-	if err := os.Rename(tmp.Name(), l.path); err != nil {
-		os.Remove(tmp.Name())
+	if err := l.fs.Rename(tmp.Name(), l.path); err != nil {
+		l.fs.Remove(tmp.Name())
 		return fmt.Errorf("%w: %v", ErrPersist, err)
 	}
+	if err := l.fs.SyncDir(dir); err != nil {
+		// The rename happened but is not yet guaranteed durable, so the
+		// mutation cannot be acknowledged; the caller rolls back and the
+		// next successful persist rewrites the file either way.
+		return fmt.Errorf("%w: sync dir: %v", ErrPersist, err)
+	}
 	return nil
+}
+
+// Close releases the WAL append handle (no-op for legacy and in-memory
+// ledgers). Every acknowledged mutation is already durable.
+func (l *Ledger) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.log == nil {
+		return nil
+	}
+	err := l.log.Close()
+	l.log = nil
+	return err
 }

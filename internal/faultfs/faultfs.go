@@ -1,0 +1,463 @@
+// Package faultfs is the filesystem seam under every durability-
+// critical write path (the privacy-ledger WAL, model-artifact
+// persistence, registry loads). Production code takes an FS value and
+// runs against the real filesystem via OS; crash-safety tests swap in a
+// Fault wrapper that fails a chosen operation deterministically or
+// simulates a process crash at the Nth operation — including torn final
+// writes and the loss of written-but-unsynced data — so every recovery
+// path can be exercised without killing a process.
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// File is the subset of *os.File the durability paths use.
+type File interface {
+	io.Writer
+	io.Reader
+	io.Closer
+	// Sync flushes the file's data to stable storage (fsync).
+	Sync() error
+	// Name returns the path the file was opened with.
+	Name() string
+}
+
+// FS abstracts the filesystem operations that decide durability.
+type FS interface {
+	// OpenFile opens name with os.OpenFile semantics.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// CreateTemp creates a new temporary file in dir (os.CreateTemp).
+	CreateTemp(dir, pattern string) (File, error)
+	// ReadFile reads the whole file (os.ReadFile).
+	ReadFile(name string) ([]byte, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes name.
+	Remove(name string) error
+	// Truncate resizes name to size bytes.
+	Truncate(name string, size int64) error
+	// Stat stats name.
+	Stat(name string) (os.FileInfo, error)
+	// SyncDir fsyncs the directory itself, making renames and newly
+	// created names in it durable.
+	SyncDir(dir string) error
+}
+
+// OS is the real filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+func (osFS) CreateTemp(dir, pattern string) (File, error) { return os.CreateTemp(dir, pattern) }
+func (osFS) ReadFile(name string) ([]byte, error)         { return os.ReadFile(name) }
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+func (osFS) Truncate(name string, size int64) error       { return os.Truncate(name, size) }
+func (osFS) Stat(name string) (os.FileInfo, error)        { return os.Stat(name) }
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Or returns fs, or OS when fs is nil — the idiom for optional FS
+// fields on config structs.
+func Or(fs FS) FS {
+	if fs == nil {
+		return OS
+	}
+	return fs
+}
+
+// Op identifies one class of filesystem operation for failpoint
+// matching and op counting.
+type Op uint8
+
+const (
+	OpOpen Op = iota
+	OpCreateTemp
+	OpRead
+	OpWrite
+	OpSync
+	OpClose
+	OpRename
+	OpRemove
+	OpTruncate
+	OpStat
+	OpSyncDir
+	opCount
+)
+
+var opNames = [opCount]string{
+	"open", "createtemp", "read", "write", "sync", "close",
+	"rename", "remove", "truncate", "stat", "syncdir",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// ErrInjected is returned by an operation a failpoint selected. The op
+// has no effect on the underlying filesystem.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// ErrCrashed is returned by every operation after the crash point: the
+// simulated process is dead, nothing reaches the disk anymore.
+var ErrCrashed = errors.New("faultfs: crashed")
+
+// mutating reports whether the op changes filesystem state. Only
+// mutating ops advance the fault counters, so adding a read-only probe
+// to production code cannot shift every crash point in the sweep.
+func mutating(op Op) bool {
+	switch op {
+	case OpWrite, OpSync, OpRename, OpRemove, OpTruncate, OpCreateTemp, OpSyncDir, OpClose:
+		return true
+	}
+	return false
+}
+
+// Fault wraps an FS with deterministic failure injection. Configure at
+// most one of FailAt/CrashAt before use; the zero configuration passes
+// every operation through.
+type Fault struct {
+	inner FS
+
+	mu      sync.Mutex
+	n       int64 // mutating ops observed so far
+	failAt  int64 // 1-based op index to fail, 0 = disabled
+	failErr error
+	crashAt int64 // 1-based op index to crash at, 0 = disabled
+	crashed bool
+	// tornWrites applies the first half of the crash-point write before
+	// dying, modeling a torn sector.
+	tornWrites bool
+
+	// synced tracks, per path, the durable byte size: what survives the
+	// crash. Writes grow files only tentatively; Sync promotes the
+	// current size to durable. On crash every tracked file is truncated
+	// back to its durable size.
+	sizes map[string]*fileState
+}
+
+// fileState tracks one path's written-vs-synced sizes.
+type fileState struct {
+	size   int64 // bytes written (visible while the process lives)
+	synced int64 // bytes guaranteed to survive a crash
+}
+
+// NewFault wraps inner (nil = the real filesystem).
+func NewFault(inner FS) *Fault {
+	return &Fault{inner: Or(inner), sizes: map[string]*fileState{}}
+}
+
+// FailAt makes the n-th (1-based) mutating operation return err without
+// reaching the filesystem; later operations succeed normally. err nil
+// selects ErrInjected.
+func (f *Fault) FailAt(n int64, err error) {
+	if err == nil {
+		err = ErrInjected
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failAt, f.failErr = n, err
+}
+
+// CrashAt simulates a kill -9 plus power loss at the n-th (1-based)
+// mutating operation: the op does not take effect (except for a torn
+// prefix when torn writes are enabled and the op is a write), every
+// file's unsynced tail is discarded, and all later operations return
+// ErrCrashed.
+func (f *Fault) CrashAt(n int64, tornWrites bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashAt, f.tornWrites = n, tornWrites
+}
+
+// Ops returns the number of mutating operations observed so far. Run a
+// workload once against a passthrough Fault to size a crash sweep.
+func (f *Fault) Ops() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.n
+}
+
+// Crashed reports whether the crash point has been reached.
+func (f *Fault) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// step advances the mutating-op counter and decides this op's fate:
+// proceed (nil), fail (ErrInjected or the configured error), or crash.
+// crashNow is true exactly at the crash-point op, letting write apply a
+// torn prefix before the state is scrubbed.
+func (f *Fault) step(op Op) (err error, crashNow bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed, false
+	}
+	if !mutating(op) {
+		return nil, false
+	}
+	f.n++
+	if f.failAt != 0 && f.n == f.failAt {
+		return f.failErr, false
+	}
+	if f.crashAt != 0 && f.n >= f.crashAt {
+		f.crashed = true
+		return ErrCrashed, true
+	}
+	return nil, false
+}
+
+// crashScrub discards every file's unsynced tail, simulating the loss
+// of the page cache. Called once, at the crash point.
+func (f *Fault) crashScrub() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for path, st := range f.sizes {
+		if st.size > st.synced {
+			// Best-effort: the path may already be gone.
+			f.inner.Truncate(path, st.synced)
+			st.size = st.synced
+		}
+	}
+}
+
+// state returns the tracked entry for path, creating it at size.
+func (f *Fault) state(path string, size int64) *fileState {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st, ok := f.sizes[path]
+	if !ok {
+		st = &fileState{size: size, synced: size}
+		f.sizes[path] = st
+	}
+	return st
+}
+
+func (f *Fault) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if err, _ := f.step(OpOpen); err != nil {
+		return nil, err
+	}
+	file, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	var size int64
+	if fi, err := f.inner.Stat(name); err == nil {
+		size = fi.Size()
+	}
+	if flag&os.O_TRUNC != 0 {
+		size = 0
+	}
+	st := f.state(name, size)
+	f.mu.Lock()
+	// Reopening resets the tracked size to reality (an earlier tracked
+	// state may be stale after an untracked mutation).
+	st.size = size
+	if st.synced > size {
+		st.synced = size
+	}
+	f.mu.Unlock()
+	return &faultFile{f: f, inner: file, st: st}, nil
+}
+
+func (f *Fault) CreateTemp(dir, pattern string) (File, error) {
+	if err, _ := f.step(OpCreateTemp); err != nil {
+		return nil, err
+	}
+	file, err := f.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	// A fresh temp file is empty and — until the directory is synced —
+	// not durably named; its durable size starts at zero.
+	st := f.state(file.Name(), 0)
+	f.mu.Lock()
+	st.size, st.synced = 0, 0
+	f.mu.Unlock()
+	return &faultFile{f: f, inner: file, st: st}, nil
+}
+
+func (f *Fault) ReadFile(name string) ([]byte, error) {
+	if err, _ := f.step(OpRead); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadFile(name)
+}
+
+func (f *Fault) Rename(oldpath, newpath string) error {
+	err, crashNow := f.step(OpRename)
+	if crashNow {
+		f.crashScrub()
+	}
+	if err != nil {
+		return err
+	}
+	if err := f.inner.Rename(oldpath, newpath); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	if st, ok := f.sizes[oldpath]; ok {
+		delete(f.sizes, oldpath)
+		f.sizes[newpath] = st
+	}
+	f.mu.Unlock()
+	return nil
+}
+
+func (f *Fault) Remove(name string) error {
+	err, crashNow := f.step(OpRemove)
+	if crashNow {
+		f.crashScrub()
+	}
+	if err != nil {
+		return err
+	}
+	if err := f.inner.Remove(name); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	delete(f.sizes, name)
+	f.mu.Unlock()
+	return nil
+}
+
+func (f *Fault) Truncate(name string, size int64) error {
+	err, crashNow := f.step(OpTruncate)
+	if crashNow {
+		f.crashScrub()
+	}
+	if err != nil {
+		return err
+	}
+	if err := f.inner.Truncate(name, size); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	if st, ok := f.sizes[name]; ok {
+		st.size = size
+		if st.synced > size {
+			st.synced = size
+		}
+	}
+	f.mu.Unlock()
+	return nil
+}
+
+func (f *Fault) Stat(name string) (os.FileInfo, error) {
+	if err, _ := f.step(OpStat); err != nil {
+		return nil, err
+	}
+	return f.inner.Stat(name)
+}
+
+func (f *Fault) SyncDir(dir string) error {
+	err, crashNow := f.step(OpSyncDir)
+	if crashNow {
+		f.crashScrub()
+	}
+	if err != nil {
+		return err
+	}
+	return f.inner.SyncDir(dir)
+}
+
+// faultFile routes per-file ops through the Fault's failpoints and
+// size tracking.
+type faultFile struct {
+	f     *Fault
+	inner File
+	st    *fileState
+}
+
+func (ff *faultFile) Name() string { return ff.inner.Name() }
+
+func (ff *faultFile) Read(p []byte) (int, error) {
+	if err, _ := ff.f.step(OpRead); err != nil {
+		return 0, err
+	}
+	return ff.inner.Read(p)
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	err, crashNow := ff.f.step(OpWrite)
+	if crashNow {
+		// Torn write: the crash lands mid-sector, persisting an
+		// arbitrary prefix of the buffer. Half is the adversarial
+		// middle ground — long enough to look like a record header,
+		// short enough to fail its checksum.
+		if ff.f.tornWrites && len(p) > 1 {
+			n, werr := ff.inner.Write(p[:len(p)/2])
+			if werr == nil {
+				// The torn prefix reached its sector: it survives the
+				// crash (that is what makes it adversarial), so it
+				// counts as durable, not as scrubbable tail.
+				ff.f.mu.Lock()
+				ff.st.size += int64(n)
+				ff.st.synced = ff.st.size
+				ff.f.mu.Unlock()
+			}
+		}
+		ff.f.crashScrub()
+	}
+	if err != nil {
+		return 0, err
+	}
+	n, err := ff.inner.Write(p)
+	ff.f.mu.Lock()
+	ff.st.size += int64(n)
+	ff.f.mu.Unlock()
+	return n, err
+}
+
+func (ff *faultFile) Sync() error {
+	err, crashNow := ff.f.step(OpSync)
+	if crashNow {
+		ff.f.crashScrub()
+	}
+	if err != nil {
+		return err
+	}
+	if err := ff.inner.Sync(); err != nil {
+		return err
+	}
+	ff.f.mu.Lock()
+	ff.st.synced = ff.st.size
+	ff.f.mu.Unlock()
+	return nil
+}
+
+func (ff *faultFile) Close() error {
+	err, crashNow := ff.f.step(OpClose)
+	if crashNow {
+		ff.f.crashScrub()
+	}
+	if err != nil {
+		// The simulated process is dead; release the real descriptor so
+		// the test process does not leak it.
+		ff.inner.Close()
+		return err
+	}
+	return ff.inner.Close()
+}

@@ -1,0 +1,128 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeWorkload runs a fixed little durability workload against fs:
+// create temp, write twice, sync, write unsynced tail, close, rename,
+// sync dir. Returns the first error.
+func writeWorkload(fs FS, dir, dst string) error {
+	f, err := fs.CreateTemp(dir, "w-*")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("synced-part|")); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("unsynced-tail")); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := fs.Rename(f.Name(), dst); err != nil {
+		return err
+	}
+	return fs.SyncDir(dir)
+}
+
+func TestPassthroughAndOpCount(t *testing.T) {
+	dir := t.TempDir()
+	dst := filepath.Join(dir, "out")
+	f := NewFault(nil)
+	if err := writeWorkload(f, dir, dst); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "synced-part|unsynced-tail" {
+		t.Fatalf("content = %q", got)
+	}
+	// createtemp, write, sync, write, close, rename, syncdir = 7
+	// mutating ops; the count must be stable or crash sweeps drift.
+	if n := f.Ops(); n != 7 {
+		t.Fatalf("ops = %d, want 7", n)
+	}
+}
+
+func TestFailAtInjectsOnce(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFault(nil)
+	f.FailAt(3, nil) // the sync
+	err := writeWorkload(f, dir, filepath.Join(dir, "out"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	// The fault fired exactly once: a rerun on the same Fault passes.
+	if err := writeWorkload(f, dir, filepath.Join(dir, "out2")); err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+}
+
+func TestCrashLosesUnsyncedTail(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFault(nil)
+	// Crash at op 5 (the close): the synced prefix survives, the
+	// unsynced tail written at op 4 is scrubbed.
+	f.CrashAt(5, false)
+	err := writeWorkload(f, dir, filepath.Join(dir, "out"))
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("err = %v, want ErrCrashed", err)
+	}
+	if !f.Crashed() {
+		t.Fatal("fault not marked crashed")
+	}
+	// The temp file (never renamed) holds only the synced prefix.
+	names, _ := filepath.Glob(filepath.Join(dir, "w-*"))
+	if len(names) != 1 {
+		t.Fatalf("temp files = %v", names)
+	}
+	got, err := os.ReadFile(names[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "synced-part|" {
+		t.Fatalf("after crash content = %q, want synced prefix only", got)
+	}
+	// Everything after the crash is dead.
+	if _, err := f.ReadFile(names[0]); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash read: %v", err)
+	}
+}
+
+func TestCrashTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFault(nil)
+	path := filepath.Join(dir, "log")
+	file, err := f.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := file.Write([]byte("whole-record")); err != nil {
+		t.Fatal(err)
+	}
+	if err := file.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Next write crashes torn: half of it lands.
+	f.CrashAt(f.Ops()+1, true)
+	if _, err := file.Write([]byte("DOOMED")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("torn write err = %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "whole-recordDOO" {
+		t.Fatalf("after torn write = %q, want synced part + half the doomed write", got)
+	}
+}

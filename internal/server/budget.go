@@ -2,8 +2,13 @@ package server
 
 import (
 	"context"
+	"errors"
 	"sync"
 )
+
+// errOverloaded reports that the worker queue is full: the request was
+// shed instead of queued. Handlers translate it to 503 + Retry-After.
+var errOverloaded = errors.New("server overloaded: worker queue full")
 
 // workerBudget is the server-wide sampling/fitting concurrency budget: a
 // counting semaphore over worker slots shared by every in-flight
@@ -19,25 +24,35 @@ import (
 // load every request degrades toward 1 worker instead of queueing
 // behind the largest ask.
 type workerBudget struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	total int
-	avail int
+	mu      sync.Mutex
+	cond    *sync.Cond
+	total   int
+	avail   int
+	waiting int // requests parked in acquire
+	maxWait int // queue-depth cap; admission acquires beyond it shed
 }
 
-func newWorkerBudget(total int) *workerBudget {
+func newWorkerBudget(total, maxWait int) *workerBudget {
 	if total < 1 {
 		total = 1
 	}
-	b := &workerBudget{total: total, avail: total}
+	if maxWait < 0 {
+		maxWait = 0
+	}
+	b := &workerBudget{total: total, avail: total, maxWait: maxWait}
 	b.cond = sync.NewCond(&b.mu)
 	return b
 }
 
-// acquire blocks until at least one worker slot is free (or ctx ends),
-// then claims min(want, free) slots. The returned release must be
-// called exactly once; it is nil when err != nil.
-func (b *workerBudget) acquire(ctx context.Context, want int) (got int, release func(), err error) {
+// acquire claims min(want, free) slots once at least one is free,
+// blocking while the budget is empty. shed selects admission-control
+// behavior: when true and the budget is empty with maxWait requests
+// already parked, acquire returns errOverloaded immediately instead of
+// queueing unboundedly — graceful degradation under overload. Requests
+// already mid-stream pass shed=false: once admitted, they may park.
+// The returned release must be called exactly once; it is nil when
+// err != nil.
+func (b *workerBudget) acquire(ctx context.Context, want int, shed bool) (got int, release func(), err error) {
 	if want < 1 {
 		want = 1
 	}
@@ -69,12 +84,18 @@ func (b *workerBudget) acquire(ctx context.Context, want int) (got int, release 
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if shed && b.avail < floor && b.waiting >= b.maxWait {
+		return 0, nil, errOverloaded
+	}
+	b.waiting++
 	for b.avail < floor {
 		if err := ctx.Err(); err != nil {
+			b.waiting--
 			return 0, nil, err
 		}
 		b.cond.Wait()
 	}
+	b.waiting--
 	if err := ctx.Err(); err != nil {
 		return 0, nil, err
 	}
@@ -96,4 +117,12 @@ func (b *workerBudget) available() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.avail
+}
+
+// queueDepth reports the parked requests (for /healthz and Retry-After
+// estimates).
+func (b *workerBudget) queueDepth() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.waiting
 }

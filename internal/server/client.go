@@ -22,6 +22,11 @@ type Client struct {
 	BaseURL string
 	// HTTP is the underlying client; nil selects http.DefaultClient.
 	HTTP *http.Client
+	// Retry is the backoff policy for transient failures (network
+	// errors, 429/502/503/504). The zero value disables retries; see
+	// DefaultRetryPolicy. Requests whose bodies cannot be replayed
+	// (non-seekable uploads) are never retried regardless of policy.
+	Retry RetryPolicy
 }
 
 // NewClient returns a client for the server at baseURL.
@@ -48,11 +53,9 @@ func apiError(resp *http.Response) error {
 }
 
 func (c *Client) getJSON(ctx context.Context, path string, out any) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
-	if err != nil {
-		return err
-	}
-	resp, err := c.http().Do(req)
+	resp, err := c.do(ctx, func() (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	})
 	if err != nil {
 		return err
 	}
@@ -101,12 +104,25 @@ func (c *Client) Upload(ctx context.Context, id string, artifact io.Reader) (Mod
 	if id != "" {
 		u += "?id=" + url.QueryEscape(id)
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, artifact)
-	if err != nil {
-		return ModelMeta{}, err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := c.http().Do(req)
+	// Uploads retry only when the artifact can be replayed from the
+	// start; a one-shot stream gets a single attempt.
+	seeker, rewindable := artifact.(io.Seeker)
+	sender := c.forBody(rewindable)
+	first := true
+	resp, err := sender.do(ctx, func() (*http.Request, error) {
+		if !first {
+			if _, err := seeker.Seek(0, io.SeekStart); err != nil {
+				return nil, err
+			}
+		}
+		first = false
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, artifact)
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		return req, nil
+	})
 	if err != nil {
 		return ModelMeta{}, err
 	}
@@ -160,11 +176,9 @@ func (c *Client) Synthesize(ctx context.Context, id string, sr SynthesizeRequest
 		q.Set("parallelism", strconv.Itoa(sr.Parallelism))
 	}
 	u := c.BaseURL + "/models/" + url.PathEscape(id) + "/synthesize?" + q.Encode()
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := c.http().Do(req)
+	resp, err := c.do(ctx, func() (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -184,12 +198,14 @@ func (c *Client) Marginal(ctx context.Context, id string, attrs []string, maxCel
 		return MarginalResult{}, err
 	}
 	u := c.BaseURL + "/models/" + url.PathEscape(id) + "/marginal"
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, strings.NewReader(string(body)))
-	if err != nil {
-		return MarginalResult{}, err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := c.http().Do(req)
+	resp, err := c.do(ctx, func() (*http.Request, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, strings.NewReader(string(body)))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		return req, nil
+	})
 	if err != nil {
 		return MarginalResult{}, err
 	}
@@ -225,33 +241,61 @@ type FitRequest struct {
 	Parallelism int
 	// Schema describes the CSV columns.
 	Schema []AttrSpec
-	// Data streams the CSV (header row first).
+	// Data streams the CSV (header row first). When it also implements
+	// io.Seeker (bytes.Reader, *os.File), the upload can be replayed
+	// and the fit becomes retryable under the client's RetryPolicy.
 	Data io.Reader
+	// IdempotencyKey makes the fit safe to retry: the server charges ε
+	// exactly once per key, even across its own restarts. Empty with
+	// retries enabled, the Client generates one, so an automatic retry
+	// after an ambiguous network failure can never double-charge.
+	IdempotencyKey string
 }
 
 // Fit uploads a dataset and fits a model under the dataset's privacy
 // budget. The upload is streamed — schema and parameters first, then
 // the CSV — so large datasets never buffer client-side.
 func (c *Client) Fit(ctx context.Context, fr FitRequest) (ModelMeta, error) {
-	pr, pw := io.Pipe()
-	mw := multipart.NewWriter(pw)
-	go func() {
-		err := writeFitBody(mw, fr)
-		if cerr := mw.Close(); err == nil {
-			err = cerr
+	seeker, rewindable := fr.Data.(io.Seeker)
+	sender := c.forBody(rewindable)
+	key := fr.IdempotencyKey
+	if key == "" && sender.Retry.enabled() {
+		key = newIdempotencyKey()
+	}
+	first := true
+	resp, err := sender.do(ctx, func() (*http.Request, error) {
+		if !first {
+			if _, err := seeker.Seek(0, io.SeekStart); err != nil {
+				return nil, err
+			}
 		}
-		pw.CloseWithError(err)
-	}()
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/fit", pr)
+		first = false
+		pr, pw := io.Pipe()
+		mw := multipart.NewWriter(pw)
+		go func() {
+			err := writeFitBody(mw, fr)
+			if cerr := mw.Close(); err == nil {
+				err = cerr
+			}
+			pw.CloseWithError(err)
+		}()
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/fit", pr)
+		if err != nil {
+			pr.Close()
+			return nil, err
+		}
+		req.Header.Set("Content-Type", mw.FormDataContentType())
+		if key != "" {
+			req.Header.Set("Idempotency-Key", key)
+		}
+		return req, nil
+	})
 	if err != nil {
 		return ModelMeta{}, err
 	}
-	req.Header.Set("Content-Type", mw.FormDataContentType())
-	resp, err := c.http().Do(req)
-	if err != nil {
-		return ModelMeta{}, err
-	}
-	if resp.StatusCode != http.StatusCreated {
+	// 201: the fit ran here. 200: an idempotent replay of a fit a
+	// previous attempt already completed.
+	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
 		return ModelMeta{}, apiError(resp)
 	}
 	defer resp.Body.Close()

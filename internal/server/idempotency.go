@@ -1,0 +1,36 @@
+package server
+
+import "sync"
+
+// inflightKeys is the single-flight guard for Idempotency-Keys: at most
+// one fit per key runs at a time, so a retry racing its own original
+// cannot fit the same model twice concurrently. Durable exactly-once
+// accounting lives in the ledger (accountant.ChargeIdempotent); this
+// guard only serializes the in-process window the ledger cannot see —
+// between a charge and its registry.Put.
+type inflightKeys struct {
+	mu sync.Mutex
+	m  map[string]struct{}
+}
+
+func newInflightKeys() *inflightKeys {
+	return &inflightKeys{m: map[string]struct{}{}}
+}
+
+// begin claims key; false means another request holds it right now.
+func (k *inflightKeys) begin(key string) bool {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if _, busy := k.m[key]; busy {
+		return false
+	}
+	k.m[key] = struct{}{}
+	return true
+}
+
+// end releases key. Callers pair it with a successful begin.
+func (k *inflightKeys) end(key string) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	delete(k.m, key)
+}

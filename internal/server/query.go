@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/url"
@@ -74,10 +75,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if req.MaxCells <= 0 || req.MaxCells > core.DefaultInferenceCells {
 		req.MaxCells = core.DefaultInferenceCells
 	}
-	// Inference runs on workers from the shared budget, like synthesis.
-	got, release, err := s.workers.acquire(r.Context(), s.requestWorkers(req.Parallelism))
+	// Inference runs on workers from the shared budget, like synthesis,
+	// and sheds under overload — a queued query only grows the client's
+	// latency past its deadline anyway.
+	got, release, err := s.workers.acquire(r.Context(), s.requestWorkers(req.Parallelism), true)
 	if err != nil {
-		return // client gone while waiting for workers
+		if errors.Is(err, errOverloaded) {
+			writeRetryAfter(w, http.StatusServiceUnavailable, s.retryAfterSeconds(),
+				"server overloaded: worker queue full, retry later")
+		}
+		return // otherwise: client gone while waiting for workers
 	}
 	res, err := model.Query(r.Context(), q,
 		core.QueryMaxCells(req.MaxCells), core.QueryParallelism(got))
@@ -98,12 +105,14 @@ func (c *Client) Query(ctx context.Context, id string, qr QueryRequest) (core.Qu
 		return core.QueryResult{}, err
 	}
 	u := c.BaseURL + "/models/" + url.PathEscape(id) + "/query"
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, strings.NewReader(string(body)))
-	if err != nil {
-		return core.QueryResult{}, err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := c.http().Do(req)
+	resp, err := c.do(ctx, func() (*http.Request, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, strings.NewReader(string(body)))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		return req, nil
+	})
 	if err != nil {
 		return core.QueryResult{}, err
 	}

@@ -1,0 +1,180 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"privbayes/internal/accountant"
+)
+
+// testPolicy keeps retry waits negligible in tests.
+func testPolicy(attempts int) RetryPolicy {
+	return RetryPolicy{MaxAttempts: attempts, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}
+}
+
+// TestClientRetriesTransientFailures: 503s with Retry-After are
+// absorbed by the policy; the request eventually succeeds.
+func TestClientRetriesTransientFailures(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			writeError(w, http.StatusServiceUnavailable, "overloaded")
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+	}))
+	defer ts.Close()
+
+	c := NewClient(ts.URL)
+	c.Retry = testPolicy(4)
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatalf("health after transient 503s: %v", err)
+	}
+	if n := calls.Load(); n != 3 {
+		t.Errorf("server saw %d attempts, want 3", n)
+	}
+}
+
+// TestClientRetryGivesUp: the policy bounds the attempts, and the last
+// failure is reported.
+func TestClientRetryGivesUp(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "still overloaded")
+	}))
+	defer ts.Close()
+
+	c := NewClient(ts.URL)
+	c.Retry = testPolicy(3)
+	err := c.Health(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "503") {
+		t.Fatalf("exhausted retries: %v", err)
+	}
+	if n := calls.Load(); n != 3 {
+		t.Errorf("server saw %d attempts, want 3", n)
+	}
+}
+
+// TestClientDoesNotRetryClientErrors: a 4xx is a fact, not a transient.
+func TestClientDoesNotRetryClientErrors(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		writeError(w, http.StatusNotFound, "no such model")
+	}))
+	defer ts.Close()
+
+	c := NewClient(ts.URL)
+	c.Retry = testPolicy(4)
+	if err := c.Health(context.Background()); err == nil {
+		t.Fatal("expected an error")
+	}
+	if n := calls.Load(); n != 1 {
+		t.Errorf("server saw %d attempts, want 1 (no retry on 404)", n)
+	}
+}
+
+// TestFitRetryChargesOnce is the end-to-end exactly-once contract: the
+// first fit attempt is fully processed server-side, but its response
+// never reaches the client (ambiguous failure). The automatic retry —
+// same generated Idempotency-Key, rewound body — must return the model
+// the first attempt produced, with ε charged exactly once.
+func TestFitRetryChargesOnce(t *testing.T) {
+	ledger := accountant.New(1.0)
+	s, err := New(Config{Ledger: ledger})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls atomic.Int64
+	lossy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/fit" && calls.Add(1) == 1 {
+			// Process the fit for real, then lose the response.
+			rec := httptest.NewRecorder()
+			s.ServeHTTP(rec, r)
+			w.Header().Set("Retry-After", "0")
+			writeError(w, http.StatusBadGateway, "connection lost mid-response")
+			return
+		}
+		s.ServeHTTP(w, r)
+	}))
+	defer lossy.Close()
+
+	c := NewClient(lossy.URL)
+	c.Retry = testPolicy(4)
+	seed := int64(7)
+	meta, err := c.Fit(context.Background(), FitRequest{
+		DatasetID: "survey", Epsilon: 0.6, Seed: &seed,
+		Schema: SpecsFromAttrs(testSchema()),
+		Data:   bytes.NewReader(fitCSV(t, testData(1500, 3))), // io.Seeker: rewindable
+	})
+	if err != nil {
+		t.Fatalf("fit through lossy transport: %v", err)
+	}
+	if meta.ID == "" || meta.Source != "fit" {
+		t.Errorf("meta = %+v", meta)
+	}
+	if n := calls.Load(); n != 2 {
+		t.Errorf("fit attempts = %d, want 2", n)
+	}
+	if spent := ledger.Get("survey").Spent; math.Abs(spent-0.6) > 1e-12 {
+		t.Errorf("spent = %g after a retried fit, want exactly 0.6", spent)
+	}
+}
+
+// TestFitNonRewindableBodyIsNotRetried: without an io.Seeker body the
+// request cannot be replayed, so the policy is ignored for it.
+func TestFitNonRewindableBodyIsNotRetried(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		io.Copy(io.Discard, r.Body)
+		writeError(w, http.StatusServiceUnavailable, "overloaded")
+	}))
+	defer ts.Close()
+
+	c := NewClient(ts.URL)
+	c.Retry = testPolicy(4)
+	raw := fitCSV(t, testData(100, 1))
+	_, err := c.Fit(context.Background(), FitRequest{
+		DatasetID: "survey", Epsilon: 0.1,
+		Schema: SpecsFromAttrs(testSchema()),
+		Data:   io.MultiReader(bytes.NewReader(raw)), // hides the Seeker
+	})
+	if err == nil {
+		t.Fatal("expected the 503 to surface")
+	}
+	if n := calls.Load(); n != 1 {
+		t.Errorf("server saw %d attempts, want 1", n)
+	}
+}
+
+// TestBackoffHonorsRetryAfterAndCap: server hints win over the
+// schedule; the cap bounds everything.
+func TestBackoffHonorsRetryAfterAndCap(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 5, BaseDelay: 10 * time.Millisecond, MaxDelay: 50 * time.Millisecond}
+	if d := p.backoff(0, "2"); d != 50*time.Millisecond {
+		t.Errorf("Retry-After 2s under a 50ms cap: %v", d)
+	}
+	if d := p.backoff(0, "0"); d != 0 {
+		t.Errorf("Retry-After 0: %v", d)
+	}
+	for attempt := 0; attempt < 20; attempt++ {
+		d := p.backoff(attempt, "")
+		if d > p.MaxDelay {
+			t.Fatalf("attempt %d backoff %v exceeds cap %v", attempt, d, p.MaxDelay)
+		}
+		if d < p.BaseDelay/2 {
+			t.Fatalf("attempt %d backoff %v below base/2", attempt, d)
+		}
+	}
+}

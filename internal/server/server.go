@@ -40,6 +40,7 @@ import (
 	"privbayes/internal/accountant"
 	"privbayes/internal/core"
 	"privbayes/internal/dataset"
+	"privbayes/internal/faultfs"
 	"privbayes/internal/infer"
 	"privbayes/internal/parallel"
 )
@@ -80,6 +81,18 @@ type Config struct {
 	// MaxUploadBytes caps request bodies (model uploads, fit CSVs);
 	// <= 0 selects DefaultMaxUploadBytes.
 	MaxUploadBytes int64
+	// MaxQueueDepth caps how many requests may wait for worker slots
+	// before new arrivals are shed with 503 + Retry-After instead of
+	// queueing unboundedly; <= 0 selects DefaultMaxQueueDepth.
+	MaxQueueDepth int
+	// MaxFitsPerDataset caps concurrent POST /fit requests per dataset
+	// id; excess fits get 429 + Retry-After. <= 0 selects
+	// DefaultMaxFitsPerDataset.
+	MaxFitsPerDataset int
+	// FS is the filesystem seam for model-artifact persistence; nil
+	// selects the real filesystem. Tests inject write/sync/rename
+	// faults and crashes here (internal/faultfs).
+	FS faultfs.FS
 	// Logf, when set, receives operational log lines.
 	Logf func(format string, args ...any)
 }
@@ -92,6 +105,9 @@ type Server struct {
 	ledger     *accountant.Ledger
 	ledgerPath string // absolute path of the ledger file, "" if in-memory
 	workers    *workerBudget
+	fs         faultfs.FS
+	fits       *inflightGauge // per-dataset concurrent-fit cap
+	fitKeys    *inflightKeys  // Idempotency-Key single-flight guard
 	maxRows    int
 	maxBytes   int64
 	maxPar     int
@@ -103,11 +119,22 @@ type Server struct {
 // Corrupt artifacts in the directory are logged and skipped so one bad
 // file cannot keep the daemon down.
 func New(cfg Config) (*Server, error) {
+	queueDepth := cfg.MaxQueueDepth
+	if queueDepth <= 0 {
+		queueDepth = DefaultMaxQueueDepth
+	}
+	fitCap := cfg.MaxFitsPerDataset
+	if fitCap <= 0 {
+		fitCap = DefaultMaxFitsPerDataset
+	}
 	s := &Server{
 		cfg:      cfg,
 		registry: NewRegistry(),
 		ledger:   cfg.Ledger,
-		workers:  newWorkerBudget(parallel.Workers(cfg.MaxWorkers)),
+		workers:  newWorkerBudget(parallel.Workers(cfg.MaxWorkers), queueDepth),
+		fs:       faultfs.Or(cfg.FS),
+		fits:     newInflightGauge(fitCap),
+		fitKeys:  newInflightKeys(),
 		maxRows:  cfg.MaxSynthesisRows,
 		maxBytes: cfg.MaxUploadBytes,
 		maxPar:   cfg.MaxRequestParallelism,
@@ -131,6 +158,16 @@ func New(cfg Config) (*Server, error) {
 	if cfg.ModelsDir != "" {
 		if err := os.MkdirAll(cfg.ModelsDir, 0o755); err != nil {
 			return nil, fmt.Errorf("server: models dir: %w", err)
+		}
+		// A crash between CreateTemp and Rename in persist leaves a
+		// *.tmp-* file behind; sweep them so they cannot accumulate
+		// across crash/restart cycles.
+		if stale, _ := filepath.Glob(filepath.Join(cfg.ModelsDir, "*.tmp-*")); stale != nil {
+			for _, name := range stale {
+				if err := s.fs.Remove(name); err == nil {
+					s.logf("removed stale temp artifact %s", name)
+				}
+			}
 		}
 		n, errs := s.registry.LoadDir(cfg.ModelsDir, s.ledgerPath)
 		for _, err := range errs {
@@ -228,6 +265,10 @@ func statusFor(err error) int {
 		return http.StatusConflict
 	case errors.Is(err, accountant.ErrBudgetExceeded):
 		return http.StatusForbidden
+	case errors.Is(err, accountant.ErrIdempotencyMismatch):
+		// The key was honored — against a different request. Replaying
+		// it with altered parameters is a client bug, not a retry.
+		return http.StatusConflict
 	case errors.Is(err, core.ErrInvalidModel):
 		return http.StatusUnprocessableEntity
 	case errors.Is(err, infer.ErrTooLarge), errors.Is(err, core.ErrImpossibleEvidence):
@@ -246,6 +287,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"models":            s.registry.Len(),
 		"workers_total":     s.workers.total,
 		"workers_available": s.workers.available(),
+		"queue_depth":       s.workers.queueDepth(),
 	})
 }
 
@@ -307,7 +349,11 @@ func (s *Server) idCollidesWithLedger(id string) bool {
 
 // persist writes a registered model to the models directory so it
 // survives restarts. Best-effort: serving continues from memory if the
-// write fails, and the failure is logged.
+// write fails, and the failure is logged. The write is crash-atomic —
+// temp file, fsync, rename, directory fsync — so a crash at any point
+// leaves either no artifact or the complete one, never a torn JSON
+// document that would be skipped (with the model silently lost) at the
+// next startup.
 func (s *Server) persist(id string, m *core.Model, epsilon float64) {
 	if s.cfg.ModelsDir == "" {
 		return
@@ -318,19 +364,41 @@ func (s *Server) persist(id string, m *core.Model, epsilon float64) {
 		s.logf("persist %s: refusing to overwrite the ledger file", id)
 		return
 	}
-	f, err := os.Create(path)
-	if err != nil {
+	if err := s.atomicWriteModel(path, m, epsilon); err != nil {
 		s.logf("persist %s: %v", id, err)
-		return
 	}
-	err = m.WriteJSON(f, epsilon)
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
+}
+
+// atomicWriteModel writes the artifact durably: the temp name does not
+// match LoadDir's *.json glob, so a leftover from a crashed write can
+// never register as a model (New sweeps them at startup).
+func (s *Server) atomicWriteModel(path string, m *core.Model, epsilon float64) error {
+	dir := filepath.Dir(path)
+	f, err := s.fs.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
-		s.logf("persist %s: %v", id, err)
-		os.Remove(path)
+		return err
 	}
+	tmp := f.Name()
+	fail := func(err error) error {
+		f.Close()
+		s.fs.Remove(tmp)
+		return err
+	}
+	if err := m.WriteJSON(f, epsilon); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		s.fs.Remove(tmp)
+		return err
+	}
+	if err := s.fs.Rename(tmp, path); err != nil {
+		s.fs.Remove(tmp)
+		return err
+	}
+	return s.fs.SyncDir(dir)
 }
 
 // synthesizeParams are the knobs of a synthesize request, from query
@@ -424,6 +492,28 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 		seed = *p.Seed
 	}
 
+	// Admission control happens before the first byte of the response:
+	// a 503 is only expressible while headers are unsent, so the first
+	// chunk's workers are acquired shed-capably here, and overload turns
+	// the request away with a retry hint instead of parking it in an
+	// unbounded queue. Once admitted the stream is committed — later
+	// chunk acquires pass shed=false and may wait.
+	ctx := r.Context()
+	want := s.requestWorkers(p.Parallelism)
+	got0, release0, err := s.workers.acquire(ctx, want, true)
+	if err != nil {
+		if errors.Is(err, errOverloaded) {
+			writeRetryAfter(w, http.StatusServiceUnavailable, s.retryAfterSeconds(),
+				"server overloaded: synthesis queue full, retry later")
+		}
+		return // otherwise: client gone while waiting for workers
+	}
+	defer func() {
+		if release0 != nil {
+			release0()
+		}
+	}()
+
 	w.Header().Set("X-Privbayes-Model", meta.ID)
 	w.Header().Set("X-Privbayes-Seed", strconv.FormatInt(seed, 10))
 	w.Header().Set("X-Privbayes-Rows", strconv.Itoa(p.N))
@@ -446,13 +536,19 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 		jw = dataset.NewJSONLWriter(w, model.Attrs)
 	}
 
-	ctx := r.Context()
-	want := s.requestWorkers(p.Parallelism)
 	for lo := 0; lo < p.N; lo += streamRows {
 		rows := min(streamRows, p.N-lo)
-		got, release, err := s.workers.acquire(ctx, want)
-		if err != nil {
-			return // client gone while waiting for workers
+		// The first chunk rides on the admission grant; later chunks
+		// re-acquire (non-shedding) so workers are never held across a
+		// client write.
+		got, release := got0, release0
+		got0, release0 = 0, nil
+		if release == nil {
+			var err error
+			got, release, err = s.workers.acquire(ctx, want, false)
+			if err != nil {
+				return // client gone while waiting for workers
+			}
 		}
 		// Parallelism 1 selects the sampler's serial legacy stream,
 		// which draws different tuples than the chunked scheme; pin the
@@ -539,10 +635,35 @@ func (s *Server) handleMarginal(w http.ResponseWriter, r *http.Request) {
 // epsilon, schema (JSON array of AttrSpec), and optionally model_id,
 // seed and parallelism; the CSV part must be named "data" and come
 // last, so the upload streams without buffering.
+//
+// An Idempotency-Key header makes the fit safe to retry after an
+// ambiguous failure (connection cut after the request was sent): the
+// key is recorded durably with the ε charge in the ledger's WAL, so a
+// retried fit — even against a restarted daemon — finds the charge,
+// spends nothing, and either replays the finished model (200) or
+// completes the interrupted fit under the already-recorded model id.
+// Reusing a key with a different dataset or ε is rejected with 409.
 func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 	if s.ledger == nil {
 		writeError(w, http.StatusServiceUnavailable, "curator mode disabled: no privacy ledger configured")
 		return
+	}
+	idemKey := r.Header.Get("Idempotency-Key")
+	if idemKey != "" {
+		if !ValidID(idemKey) {
+			writeError(w, http.StatusBadRequest, "invalid Idempotency-Key %q (want 1-128 chars of [A-Za-z0-9._-])", idemKey)
+			return
+		}
+		// Single flight per key: a concurrent retry while the first
+		// attempt is still fitting would race it to the registry. Turn
+		// the latecomer away; by its retry the first attempt has
+		// finished (replay) or failed (rerun).
+		if !s.fitKeys.begin(idemKey) {
+			writeRetryAfter(w, http.StatusConflict, 2,
+				"a fit with Idempotency-Key %q is already in flight", idemKey)
+			return
+		}
+		defer s.fitKeys.end(idemKey)
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.maxBytes)
 	mr, err := r.MultipartReader()
@@ -563,10 +684,19 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 	)
 	charged := false
 	refund := func() {
-		if charged {
-			if err := s.ledger.Refund(datasetID, epsilon); err != nil {
-				s.logf("refund %s ε=%g: %v", datasetID, epsilon, err)
-			}
+		if !charged {
+			return
+		}
+		// The idempotent refund also forgets the key, so a later retry
+		// of the same request charges (and runs) afresh.
+		var err error
+		if idemKey != "" {
+			err = s.ledger.RefundIdempotent(datasetID, epsilon, idemKey)
+		} else {
+			err = s.ledger.Refund(datasetID, epsilon)
+		}
+		if err != nil {
+			s.logf("refund %s ε=%g: %v", datasetID, epsilon, err)
 		}
 	}
 
@@ -605,11 +735,55 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 				writeError(w, http.StatusBadRequest, "%v", err)
 				return
 			}
+			// Per-dataset concurrent-fit cap: the expensive section (CSV
+			// decode + fit) starts here, and fits against one dataset all
+			// contend for the same ε budget — shed the pile-up with 429
+			// before any of it is spent.
+			leave, ok := s.fits.enter(datasetID)
+			if !ok {
+				writeRetryAfter(w, http.StatusTooManyRequests, s.retryAfterSeconds(),
+					"too many concurrent fits for dataset %q, retry later", datasetID)
+				return
+			}
+			defer leave()
 			// Meter before reading a single row: the budget guards data
 			// access, and a rejected fit must not consume the upload.
-			if err := s.ledger.Charge(datasetID, epsilon); err != nil {
-				writeError(w, statusFor(err), "%v", err)
-				return
+			if idemKey == "" {
+				if err := s.ledger.Charge(datasetID, epsilon); err != nil {
+					writeError(w, statusFor(err), "%v", err)
+					return
+				}
+			} else {
+				// The model id is pinned before charging so it rides in
+				// the WAL charge record: after a crash, the retried
+				// request finds the recorded charge (duplicate) and
+				// finishes the fit under the same id without spending ε
+				// again.
+				if modelID == "" {
+					modelID = s.freshID(datasetID + "-fit")
+				}
+				if s.idCollidesWithLedger(modelID) {
+					writeError(w, http.StatusBadRequest, "model id %q collides with the ledger file", modelID)
+					return
+				}
+				dup, prevID, err := s.ledger.ChargeIdempotent(datasetID, epsilon, idemKey, modelID)
+				if err != nil {
+					writeError(w, statusFor(err), "%v", err)
+					return
+				}
+				if dup {
+					modelID = prevID
+					// ChargeIdempotent has verified the retry matches the
+					// recorded charge. If the fit also completed, replay
+					// its result without reading the data; otherwise the
+					// first attempt died after the durable charge (crash,
+					// failure) — finish the work now, charging nothing.
+					if _, meta, err := s.registry.Get(modelID); err == nil {
+						w.Header().Set("X-Privbayes-Idempotency-Replay", "true")
+						writeJSON(w, http.StatusOK, meta)
+						return
+					}
+				}
 			}
 			charged = true
 			ds, err = dataset.ReadCSV(part, attrs)
@@ -698,10 +872,15 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// The fit itself runs on workers from the shared budget, like any
-	// synthesis chunk.
-	got, release, err := s.workers.acquire(r.Context(), s.requestWorkers(par))
+	// synthesis chunk. Overload sheds with 503 — the refund (which for
+	// keyed fits also forgets the key) makes the retry a clean slate.
+	got, release, err := s.workers.acquire(r.Context(), s.requestWorkers(par), true)
 	if err != nil {
 		refund()
+		if errors.Is(err, errOverloaded) {
+			writeRetryAfter(w, http.StatusServiceUnavailable, s.retryAfterSeconds(),
+				"server overloaded: worker queue full, retry later")
+		}
 		return
 	}
 	// The request context cancels the fit: when the client disconnects

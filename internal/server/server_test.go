@@ -710,10 +710,10 @@ func TestAbandonedRequestReleasesWorkers(t *testing.T) {
 }
 
 func TestWorkerBudgetAcquire(t *testing.T) {
-	b := newWorkerBudget(4)
+	b := newWorkerBudget(4, 64)
 	ctx := context.Background()
 
-	got, release, err := b.acquire(ctx, 3)
+	got, release, err := b.acquire(ctx, 3, false)
 	if err != nil || got != 3 {
 		t.Fatalf("acquire(3) = %d, %v", got, err)
 	}
@@ -722,7 +722,7 @@ func TestWorkerBudgetAcquire(t *testing.T) {
 	// takes everything available.
 	done := make(chan int, 1)
 	go func() {
-		g, rel, err := b.acquire(ctx, 8)
+		g, rel, err := b.acquire(ctx, 8, false)
 		if err == nil {
 			rel()
 		}
@@ -738,7 +738,7 @@ func TestWorkerBudgetAcquire(t *testing.T) {
 		t.Errorf("unblocked acquire got %d, want 4", g)
 	}
 	// Asks below the floor are raised to it.
-	gotF, relF, err := b.acquire(ctx, 1)
+	gotF, relF, err := b.acquire(ctx, 1, false)
 	if err != nil || gotF != 2 {
 		t.Fatalf("acquire(1) = %d, %v, want floor grant 2", gotF, err)
 	}
@@ -747,22 +747,22 @@ func TestWorkerBudgetAcquire(t *testing.T) {
 		t.Errorf("available = %d, want 4", b.available())
 	}
 	// A total budget of 1 has floor 1 (the documented exception).
-	b1 := newWorkerBudget(1)
-	g1, rel1, err := b1.acquire(ctx, 4)
+	b1 := newWorkerBudget(1, 64)
+	g1, rel1, err := b1.acquire(ctx, 4, false)
 	if err != nil || g1 != 1 {
 		t.Fatalf("budget-1 acquire = %d, %v", g1, err)
 	}
 	rel1()
 
 	// Cancelled context aborts a blocked acquire.
-	_, rel3, err := b.acquire(ctx, 4)
+	_, rel3, err := b.acquire(ctx, 4, false)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cctx, cancel := context.WithCancel(ctx)
 	errc := make(chan error, 1)
 	go func() {
-		_, _, err := b.acquire(cctx, 1)
+		_, _, err := b.acquire(cctx, 1, false)
 		errc <- err
 	}()
 	time.Sleep(20 * time.Millisecond)
@@ -773,7 +773,7 @@ func TestWorkerBudgetAcquire(t *testing.T) {
 	rel3()
 
 	// Double release is idempotent.
-	g, rel, err := b.acquire(ctx, 2)
+	g, rel, err := b.acquire(ctx, 2, false)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,78 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"sync"
+)
+
+// Defaults for the overload-protection knobs.
+const (
+	// DefaultMaxQueueDepth is the number of requests allowed to wait
+	// for worker slots before new arrivals are shed with 503.
+	DefaultMaxQueueDepth = 64
+	// DefaultMaxFitsPerDataset caps concurrent curator fits per dataset
+	// id; excess fits are rejected with 429. Fits against one dataset
+	// contend for the same ε budget, so letting them pile up mostly
+	// manufactures budget-rejection races.
+	DefaultMaxFitsPerDataset = 2
+)
+
+// writeRetryAfter writes an error response with a Retry-After hint —
+// the contract for 429 (per-dataset pressure) and 503 (server-wide
+// overload), which Client honors when backing off.
+func writeRetryAfter(w http.ResponseWriter, status, seconds int, format string, args ...any) {
+	w.Header().Set("Retry-After", strconv.Itoa(seconds))
+	writeError(w, status, format, args...)
+}
+
+// retryAfterSeconds estimates how long a shed client should wait before
+// retrying: one second plus a second per queued request ahead of it,
+// capped so clients never park for minutes on a stale hint.
+func (s *Server) retryAfterSeconds() int {
+	const cap = 30
+	sec := 1 + s.workers.queueDepth()
+	if sec > cap {
+		return cap
+	}
+	return sec
+}
+
+// inflightGauge counts concurrent operations per key (dataset id) and
+// rejects new ones past a cap. It is a load-shedding guard, not a
+// queue: callers that cannot enter are told to retry later.
+type inflightGauge struct {
+	mu  sync.Mutex
+	cap int
+	m   map[string]int
+}
+
+func newInflightGauge(cap int) *inflightGauge {
+	if cap < 1 {
+		cap = 1
+	}
+	return &inflightGauge{cap: cap, m: map[string]int{}}
+}
+
+// enter claims a slot for key. ok=false means the per-key cap is
+// reached; on ok=true the returned leave must be called exactly once.
+func (g *inflightGauge) enter(key string) (leave func(), ok bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.m[key] >= g.cap {
+		return nil, false
+	}
+	g.m[key]++
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			g.mu.Lock()
+			defer g.mu.Unlock()
+			if g.m[key] <= 1 {
+				delete(g.m, key)
+			} else {
+				g.m[key]--
+			}
+		})
+	}, true
+}

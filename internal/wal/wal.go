@@ -1,0 +1,333 @@
+// Package wal is an append-only, checksummed, fsync'd write-ahead log.
+// It is the durability primitive under the privacy-budget ledger
+// (internal/accountant): a record handed to Append is on stable storage
+// when Append returns, so a crash at any instant — torn final write
+// included — loses at most the record that was never acknowledged.
+//
+// On-disk format:
+//
+//	[8-byte magic "PBWAL\x00\x01\n"]
+//	repeated records: [4-byte LE payload length][4-byte LE CRC32C(payload)][payload]
+//
+// Payload bytes are opaque to this package; the caller owns their
+// encoding. Recovery scans the file front to back verifying every
+// checksum. An invalid record that reaches end-of-file is a torn tail
+// from a crash mid-append and is silently truncated; an invalid record
+// with valid-looking data after it is real corruption and fails Open
+// with a *CorruptError carrying the byte offset (Options.Fsck downgrades
+// that to truncation, for explicit operator-driven repair).
+//
+// Compact atomically replaces the log with a single checkpoint record
+// (temp file + fsync + rename + directory fsync), bounding recovery time
+// and file size. All filesystem access goes through internal/faultfs so
+// crash sweeps can drive every one of these paths deterministically.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"privbayes/internal/faultfs"
+)
+
+// magic identifies (and versions) a WAL file.
+const magic = "PBWAL\x00\x01\n"
+
+// headerLen is the per-record header: 4-byte length + 4-byte CRC32C.
+const headerLen = 8
+
+// MaxRecordLen caps one record's payload. A length field above the cap
+// cannot come from a torn append (appends write the valid length first),
+// so it is diagnosed as corruption, not a torn tail.
+const MaxRecordLen = 16 << 20
+
+// castagnoli is the CRC32C table (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt tags unrecoverable log damage; match with errors.Is. The
+// concrete error is a *CorruptError carrying the byte offset.
+var ErrCorrupt = errors.New("wal: log corrupt")
+
+// CorruptError reports damage recovery refused to repair silently.
+type CorruptError struct {
+	Path   string
+	Offset int64  // byte offset of the first invalid record
+	Reason string // human-readable diagnosis
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("wal: %s: corrupt at byte %d: %s", e.Path, e.Offset, e.Reason)
+}
+
+// Is makes errors.Is(err, ErrCorrupt) match.
+func (e *CorruptError) Is(target error) bool { return target == ErrCorrupt }
+
+// Options configures Open.
+type Options struct {
+	// FS is the filesystem seam; nil selects the real filesystem.
+	FS faultfs.FS
+	// Fsck truncates the log at the first corrupt record instead of
+	// failing Open — explicit operator-driven repair (-ledger-fsck).
+	Fsck bool
+}
+
+// Log is an open write-ahead log. Append is not concurrency-safe; the
+// owning layer serializes (the accountant already holds its ledger lock
+// across every mutation).
+type Log struct {
+	path    string
+	fs      faultfs.FS
+	f       faultfs.File
+	size    int64 // current file size incl. magic
+	records int   // records in the file (replayed + appended)
+	// truncated reports bytes dropped during recovery: a torn tail
+	// (normal after a crash) or, under Fsck, a corrupt suffix.
+	truncated int64
+}
+
+// Open recovers the log at path, calling replay for every intact record
+// in order (offset is the record's position, for diagnostics), then
+// leaves the log open for appends. A missing file is created empty. If
+// replay returns an error, Open fails with it.
+func Open(path string, opts Options, replay func(offset int64, payload []byte) error) (*Log, error) {
+	fs := faultfs.Or(opts.FS)
+	l := &Log{path: path, fs: fs}
+
+	data, err := fs.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return l, l.create()
+	}
+	if err != nil {
+		return nil, fmt.Errorf("wal: read %s: %w", path, err)
+	}
+	if len(data) < len(magic) {
+		if isPrefixOf(data, magic) {
+			// A crash tore the very first write; nothing was committed.
+			return l, l.recreate()
+		}
+		return nil, &CorruptError{Path: path, Offset: 0, Reason: "file shorter than the WAL magic and not a prefix of it"}
+	}
+	if string(data[:len(magic)]) != magic {
+		return nil, &CorruptError{Path: path, Offset: 0, Reason: "bad magic (not a WAL file)"}
+	}
+
+	end, records, err := scan(data, func(off int64, payload []byte) error {
+		return replay(off, payload)
+	})
+	if err != nil {
+		ce, ok := err.(*CorruptError)
+		if !ok || !opts.Fsck {
+			if ok {
+				ce.Path = path
+			}
+			return nil, err
+		}
+		// Operator-sanctioned repair: drop everything from the damage on.
+		end = ce.Offset
+	}
+	l.records = records
+	if end < int64(len(data)) {
+		l.truncated = int64(len(data)) - end
+		if err := fs.Truncate(path, end); err != nil {
+			return nil, fmt.Errorf("wal: truncate torn tail of %s: %w", path, err)
+		}
+	}
+	l.size = end
+	f, err := fs.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open %s for append: %w", path, err)
+	}
+	l.f = f
+	if l.truncated > 0 {
+		// Make the repair itself durable before acknowledging recovery.
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: sync repaired %s: %w", path, err)
+		}
+	}
+	return l, nil
+}
+
+// isPrefixOf reports whether data is a strict prefix of s.
+func isPrefixOf(data []byte, s string) bool {
+	return len(data) < len(s) && string(data) == s[:len(data)]
+}
+
+// scan walks records, calling emit for each valid one, and returns the
+// offset of the first byte past the last valid record plus the record
+// count. A torn tail ends the scan silently; mid-file damage returns a
+// *CorruptError (Path filled by the caller).
+func scan(data []byte, emit func(offset int64, payload []byte) error) (end int64, records int, err error) {
+	off := int64(len(magic))
+	n := int64(len(data))
+	for off < n {
+		rem := n - off
+		if rem < headerLen {
+			return off, records, nil // torn header
+		}
+		length := int64(binary.LittleEndian.Uint32(data[off:]))
+		if length == 0 || length > MaxRecordLen {
+			return off, records, &CorruptError{Offset: off, Reason: fmt.Sprintf("implausible record length %d", length)}
+		}
+		recEnd := off + headerLen + length
+		if recEnd > n {
+			return off, records, nil // torn payload
+		}
+		wantCRC := binary.LittleEndian.Uint32(data[off+4:])
+		payload := data[off+headerLen : recEnd]
+		if crc32.Checksum(payload, castagnoli) != wantCRC {
+			if recEnd == n {
+				return off, records, nil // torn final record
+			}
+			return off, records, &CorruptError{Offset: off, Reason: "checksum mismatch with further data after the record"}
+		}
+		if err := emit(off, payload); err != nil {
+			return off, records, err
+		}
+		records++
+		off = recEnd
+	}
+	return off, records, nil
+}
+
+// create initializes a brand-new log file durably: magic, file fsync,
+// then directory fsync so the name itself survives.
+func (l *Log) create() error {
+	f, err := l.fs.OpenFile(l.path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: create %s: %w", l.path, err)
+	}
+	if err := writeAndSyncAll(f, []byte(magic)); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: init %s: %w", l.path, err)
+	}
+	if err := l.fs.SyncDir(filepath.Dir(l.path)); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: sync dir of %s: %w", l.path, err)
+	}
+	l.f = f
+	l.size = int64(len(magic))
+	return nil
+}
+
+// recreate replaces a file holding a torn initial write.
+func (l *Log) recreate() error {
+	if err := l.fs.Remove(l.path); err != nil {
+		return fmt.Errorf("wal: remove torn %s: %w", l.path, err)
+	}
+	return l.create()
+}
+
+func writeAndSyncAll(f faultfs.File, b []byte) error {
+	if _, err := f.Write(b); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// Append commits one record: a single write of header+payload followed
+// by fsync. When Append returns nil the record survives any crash; when
+// it returns an error the record must be treated as not committed (it
+// may or may not survive — recovery decides).
+func (l *Log) Append(payload []byte) error {
+	if l.f == nil {
+		return errors.New("wal: log is closed")
+	}
+	if len(payload) == 0 {
+		return errors.New("wal: empty payload")
+	}
+	if len(payload) > MaxRecordLen {
+		return fmt.Errorf("wal: payload %d bytes exceeds cap %d", len(payload), MaxRecordLen)
+	}
+	buf := make([]byte, headerLen+len(payload))
+	binary.LittleEndian.PutUint32(buf, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:], crc32.Checksum(payload, castagnoli))
+	copy(buf[headerLen:], payload)
+	if err := writeAndSyncAll(l.f, buf); err != nil {
+		return fmt.Errorf("wal: append to %s: %w", l.path, err)
+	}
+	l.size += int64(len(buf))
+	l.records++
+	return nil
+}
+
+// Compact atomically replaces the whole log with a single checkpoint
+// record: temp file in the same directory, file fsync, rename over the
+// log, directory fsync. On any error the old log remains the durable
+// truth and stays open for appends.
+func (l *Log) Compact(checkpoint []byte) error {
+	if l.f == nil {
+		return errors.New("wal: log is closed")
+	}
+	if len(checkpoint) == 0 || len(checkpoint) > MaxRecordLen {
+		return fmt.Errorf("wal: invalid checkpoint size %d", len(checkpoint))
+	}
+	dir := filepath.Dir(l.path)
+	tmp, err := l.fs.CreateTemp(dir, ".wal-compact-*")
+	if err != nil {
+		return fmt.Errorf("wal: compact %s: %w", l.path, err)
+	}
+	cleanup := func() { tmp.Close(); l.fs.Remove(tmp.Name()) }
+	buf := make([]byte, len(magic)+headerLen+len(checkpoint))
+	copy(buf, magic)
+	binary.LittleEndian.PutUint32(buf[len(magic):], uint32(len(checkpoint)))
+	binary.LittleEndian.PutUint32(buf[len(magic)+4:], crc32.Checksum(checkpoint, castagnoli))
+	copy(buf[len(magic)+headerLen:], checkpoint)
+	if err := writeAndSyncAll(tmp, buf); err != nil {
+		cleanup()
+		return fmt.Errorf("wal: compact %s: %w", l.path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		l.fs.Remove(tmp.Name())
+		return fmt.Errorf("wal: compact %s: close: %w", l.path, err)
+	}
+	if err := l.fs.Rename(tmp.Name(), l.path); err != nil {
+		l.fs.Remove(tmp.Name())
+		return fmt.Errorf("wal: compact %s: rename: %w", l.path, err)
+	}
+	if err := l.fs.SyncDir(dir); err != nil {
+		return fmt.Errorf("wal: compact %s: sync dir: %w", l.path, err)
+	}
+	// The old append handle now points at the unlinked pre-compaction
+	// inode; swap it for the fresh file.
+	old := l.f
+	f, err := l.fs.OpenFile(l.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		l.f = nil
+		old.Close()
+		return fmt.Errorf("wal: reopen %s after compaction: %w", l.path, err)
+	}
+	old.Close()
+	l.f = f
+	l.size = int64(len(buf))
+	l.records = 1
+	return nil
+}
+
+// Records returns the number of records currently in the log.
+func (l *Log) Records() int { return l.records }
+
+// Size returns the log's size in bytes, including the magic header.
+func (l *Log) Size() int64 { return l.size }
+
+// Truncated returns the bytes dropped during recovery (torn tail, or
+// corrupt suffix under Fsck); 0 after a clean open.
+func (l *Log) Truncated() int64 { return l.truncated }
+
+// Path returns the log file's path.
+func (l *Log) Path() string { return l.path }
+
+// Close releases the append handle. The log's contents are already
+// durable; Close exists for tests and orderly shutdown.
+func (l *Log) Close() error {
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Close()
+	l.f = nil
+	return err
+}
