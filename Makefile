@@ -4,7 +4,7 @@
 GO ?= go
 
 .PHONY: all build test race bench bench-json serve lint cover fmt \
-	apicheck api-baseline examples quality fuzz crashsafety
+	apicheck api-baseline examples quality fuzz crashsafety logcheck
 
 # Minimum total statement coverage accepted by `make cover` (percent).
 COVER_FLOOR ?= 70
@@ -61,6 +61,11 @@ bench-json:
 	$(GO) run ./cmd/benchjson -in bench_query.out > BENCH_query.json
 	@rm -f bench_query.out
 	@cat BENCH_query.json
+	$(GO) test -run NONE -bench 'BenchmarkTelemetryOverhead|BenchmarkServeSynthesizeTelemetry' \
+		-benchtime 1s ./internal/telemetry ./internal/server > bench_telemetry.out
+	$(GO) run ./cmd/benchjson -in bench_telemetry.out > BENCH_telemetry.json
+	@rm -f bench_telemetry.out
+	@cat BENCH_telemetry.json
 
 # Statistical quality sweep and regression gate: fits every ground-truth
 # scenario at ε ∈ {0.1, 1, 10}, writes BENCH_quality.json (2-way/3-way
@@ -117,6 +122,18 @@ lint:
 	$(GO) vet ./...
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Log-hygiene gate: non-test code in internal/server must log through
+# the injected slog seam (Config.Logger), never straight to
+# stdout/stderr — bare prints bypass -log-format/-log-level and lose
+# the request ID.
+logcheck:
+	@out=$$(grep -rnE '(fmt|log)\.Print' internal/server --include='*.go' \
+		| grep -v '_test\.go' || true); \
+	if [ -n "$$out" ]; then \
+		echo "bare fmt.Print*/log.Print* in internal/server (use the slog seam):"; \
+		echo "$$out"; exit 1; fi
+	@echo "logcheck: internal/server is print-free"
 
 # Coverage with a floor: fails when total statement coverage drops
 # below COVER_FLOOR percent. CI uploads coverage.out as an artifact.

@@ -142,6 +142,12 @@ func parseBenchLine(line string) (Benchmark, bool) {
 var speedupPairs = []struct{ fast, base, label string }{
 	{"BenchmarkScoreBatchShared/", "BenchmarkScoreBatchLegacy/", "shared_vs_legacy/"},
 	{"BenchmarkQuery/", "BenchmarkSynthesizeThenScan/", "query_vs_scan/"},
+	// Telemetry pairs invert the usual reading: fast is the no-op (off)
+	// path, so the ratio is on_ns/off_ns — the relative cost of enabling
+	// telemetry. 1.00 means free; the acceptance bar is <= 1.05 on the
+	// end-to-end serving pair.
+	{"BenchmarkTelemetryOverhead/off/", "BenchmarkTelemetryOverhead/on/", "telemetry_on_vs_off/"},
+	{"BenchmarkServeSynthesizeTelemetry/off/", "BenchmarkServeSynthesizeTelemetry/on/", "serve_telemetry_on_vs_off/"},
 }
 
 // speedups pairs each family's <fast>/<sub> with <base>/<sub> and

@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strconv"
 	"strings"
@@ -53,7 +54,8 @@ func main() {
 
 	// run is wrapped so the profile flush runs on failure exits too — a
 	// failing run is exactly when the profiles are wanted.
-	stop, err := profiling.Start(*cpuprofile, *memprofile, "experiments")
+	stop, err := profiling.Start(*cpuprofile, *memprofile,
+		slog.New(slog.NewTextHandler(os.Stderr, nil)).With("prog", "experiments"))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)

@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"os/signal"
 	"sort"
@@ -49,7 +50,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "privbayes: -in and -out are required")
 		os.Exit(2)
 	}
-	stop, err := profiling.Start(*cpuprofile, *memprofile, "privbayes")
+	stop, err := profiling.Start(*cpuprofile, *memprofile,
+		slog.New(slog.NewTextHandler(os.Stderr, nil)).With("prog", "privbayes"))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "privbayes:", err)
 		os.Exit(1)

@@ -31,6 +31,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -40,7 +41,9 @@ import (
 
 	"privbayes/internal/accountant"
 	"privbayes/internal/cliutil"
+	"privbayes/internal/profiling"
 	"privbayes/internal/server"
+	"privbayes/internal/telemetry"
 )
 
 // options carries every flag from main to run.
@@ -59,6 +62,9 @@ type options struct {
 	readTimeout   time.Duration
 	writeTimeout  time.Duration
 	shutdownGrace time.Duration
+	logFormat     string
+	logLevel      string
+	pprofAddr     string
 }
 
 func main() {
@@ -77,19 +83,31 @@ func main() {
 	flag.DurationVar(&o.readTimeout, "read-timeout", 10*time.Minute, "max duration for reading one request incl. body (0 = unlimited; bound fit-upload stalls)")
 	flag.DurationVar(&o.writeTimeout, "write-timeout", 30*time.Minute, "max duration for writing one response (0 = unlimited; bounds abandoned synthesis streams)")
 	flag.DurationVar(&o.shutdownGrace, "shutdown-grace", 10*time.Second, "drain period for in-flight requests on SIGINT/SIGTERM before force-close")
+	flag.StringVar(&o.logFormat, "log-format", "text", "structured log encoding: text or json")
+	flag.StringVar(&o.logLevel, "log-level", "info", "minimum log level: debug, info, warn or error")
+	flag.StringVar(&o.pprofAddr, "pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = disabled)")
 	cliutil.Parse("privbayesd", "serve synthesis, inference and budget-metered fitting of PrivBayes models over HTTP")
 	if err := run(o); err != nil {
-		fmt.Fprintln(os.Stderr, "privbayesd:", err)
+		// run may fail before (or because) -log-format/-log-level parsed,
+		// so the fatal line uses a fixed text logger.
+		slog.New(slog.NewTextHandler(os.Stderr, nil)).Error("privbayesd exiting", slog.String("error", err.Error()))
 		os.Exit(1)
 	}
 }
 
 func run(o options) error {
+	// One injectable logger seam: every daemon diagnostic — startup,
+	// ledger recovery, per-request lines, shutdown — flows through this
+	// slog.Logger, so -log-format/-log-level govern all of it and tests
+	// can capture it whole.
+	log, err := telemetry.NewLogger(os.Stderr, o.logFormat, o.logLevel)
+	if err != nil {
+		return err
+	}
 	logf := func(format string, args ...any) {
-		fmt.Fprintf(os.Stderr, "privbayesd: "+format+"\n", args...)
+		log.Info(fmt.Sprintf(format, args...))
 	}
 	var ledger *accountant.Ledger
-	var err error
 	if o.ledgerPath != "" {
 		ledger, err = accountant.OpenWAL(o.ledgerPath, o.budget,
 			accountant.Options{Fsck: o.ledgerFsck, Logf: logf})
@@ -120,7 +138,8 @@ func run(o options) error {
 		MaxUploadBytes:        o.maxMB << 20,
 		MaxQueueDepth:         o.maxQueue,
 		MaxFitsPerDataset:     o.maxFits,
-		Logf:                  logf,
+		Logger:                log,
+		Telemetry:             telemetry.NewRegistry(),
 	})
 	if err != nil {
 		return err
@@ -132,6 +151,22 @@ func run(o options) error {
 	// Announced after the bind so callers using port 0 can scrape the
 	// resolved address (the e2e test and `make serve` both rely on it).
 	logf("listening on %s (%d model(s) registered)", ln.Addr(), srv.Registry().Len())
+
+	// The pprof listener is separate from the API listener on purpose:
+	// profiles expose internals and should normally bind loopback only.
+	if o.pprofAddr != "" {
+		pln, err := net.Listen("tcp", o.pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listen: %w", err)
+		}
+		log.Info("pprof listening", slog.String("addr", pln.Addr().String()))
+		go func() {
+			ps := &http.Server{Handler: profiling.Mux(), ReadHeaderTimeout: 10 * time.Second}
+			if err := ps.Serve(pln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Error("pprof server", slog.String("error", err.Error()))
+			}
+		}()
+	}
 	hs := &http.Server{
 		Handler: srv,
 		// Header and idle timeouts bound slow-loris and abandoned

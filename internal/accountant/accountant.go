@@ -129,6 +129,9 @@ type Ledger struct {
 	// FIFO so the map stays bounded at maxIdemKeys.
 	keys     map[string]KeyInfo
 	keyOrder []string
+
+	// m instruments mutations; nil means uninstrumented (see Instrument).
+	m *Metrics
 }
 
 // KeyInfo records the charge an idempotency key committed.
@@ -259,11 +262,13 @@ func (l *Ledger) charge(dataset string, eps float64, key, modelID string) (dupli
 				return false, "", fmt.Errorf("%w: key %q charged dataset %q ε=%g, retried with dataset %q ε=%g",
 					ErrIdempotencyMismatch, key, info.Dataset, info.Eps, dataset, eps)
 			}
+			l.m.replayHit()
 			return true, info.ModelID, nil
 		}
 	}
 	e := l.entryLocked(dataset)
 	if e.Spent+eps > e.Budget*(1+chargeTol) {
+		l.m.chargeRejected()
 		return false, "", &BudgetError{Dataset: dataset, Requested: eps, Spent: e.Spent, Budget: e.Budget}
 	}
 	e.Spent += eps
@@ -283,6 +288,7 @@ func (l *Ledger) charge(dataset string, eps float64, key, modelID string) (dupli
 		}
 		return false, "", err
 	}
+	l.m.chargeCommitted(dataset, eps, e)
 	return false, modelID, nil
 }
 
@@ -330,6 +336,7 @@ func (l *Ledger) refund(dataset string, eps float64, key string) error {
 		}
 		return err
 	}
+	l.m.refundCommitted(dataset, eps, e)
 	return nil
 }
 
@@ -358,6 +365,7 @@ func (l *Ledger) SetBudget(dataset string, budget float64) error {
 		}
 		return err
 	}
+	l.m.setState(dataset, e)
 	return nil
 }
 
@@ -438,6 +446,14 @@ func (l *Ledger) Path() string { return l.path }
 // compacts the log), in legacy mode it rewrites the whole JSON document
 // atomically. In-memory ledgers commit trivially. Callers hold l.mu.
 func (l *Ledger) commitLocked(rec walRecord) error {
+	if err := l.commitRawLocked(rec); err != nil {
+		l.m.persistFailed()
+		return err
+	}
+	return nil
+}
+
+func (l *Ledger) commitRawLocked(rec walRecord) error {
 	if l.log != nil {
 		payload, err := json.Marshal(rec)
 		if err != nil {

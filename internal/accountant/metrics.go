@@ -1,0 +1,127 @@
+package accountant
+
+import (
+	"privbayes/internal/telemetry"
+	"privbayes/internal/wal"
+)
+
+// Metrics is the ledger's instrumentation surface. A nil *Metrics
+// disables instrumentation; the ledger never changes what it commits
+// based on whether it is observed.
+type Metrics struct {
+	// WAL instruments the ledger's write-ahead log (fsync latency,
+	// compactions, recovery truncation).
+	WAL *wal.Metrics
+
+	spent           *telemetry.GaugeVec
+	budget          *telemetry.GaugeVec
+	charged         *telemetry.CounterVec
+	refunded        *telemetry.CounterVec
+	rejected        *telemetry.Counter
+	replays         *telemetry.Counter
+	persistFailures *telemetry.Counter
+}
+
+// NewMetrics registers the ledger and WAL metric families on r.
+// Returns nil for a nil registry — the "telemetry off" mode.
+func NewMetrics(r *telemetry.Registry) *Metrics {
+	if r == nil {
+		return nil
+	}
+	return &Metrics{
+		WAL: wal.NewMetrics(r),
+		spent: r.GaugeVec("privbayes_ledger_epsilon_spent",
+			"Cumulative ε spent per dataset (post-state of the last acknowledged mutation).", "dataset"),
+		budget: r.GaugeVec("privbayes_ledger_epsilon_budget",
+			"Total ε allowance per dataset.", "dataset"),
+		charged: r.CounterVec("privbayes_ledger_epsilon_charged_total",
+			"ε charged per dataset by acknowledged charges.", "dataset"),
+		refunded: r.CounterVec("privbayes_ledger_epsilon_refunded_total",
+			"ε returned per dataset by acknowledged refunds.", "dataset"),
+		rejected: r.Counter("privbayes_ledger_charges_rejected_total",
+			"Charges refused because they would exceed the dataset's budget."),
+		replays: r.Counter("privbayes_ledger_idempotent_replays_total",
+			"Charges answered from a recorded idempotency key instead of spending again."),
+		persistFailures: r.Counter("privbayes_ledger_persist_failures_total",
+			"Mutations rolled back because they could not be made durable."),
+	}
+}
+
+// Instrument attaches metrics to the ledger and seeds the per-dataset
+// gauges from its recovered state, so a scrape right after startup
+// already reflects every ε spend replayed from the WAL. Call once,
+// before the ledger serves; a nil m turns instrumentation off.
+func (l *Ledger) Instrument(m *Metrics) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.m = m
+	if m == nil {
+		return
+	}
+	if l.log != nil {
+		l.log.Instrument(m.WAL)
+	}
+	for id, e := range l.datasets {
+		m.spent.With(id).Set(e.Spent)
+		m.budget.With(id).Set(e.Budget)
+	}
+}
+
+// setState mirrors a dataset's post-mutation standing into the gauges.
+func (m *Metrics) setState(dataset string, e Entry) {
+	if m == nil {
+		return
+	}
+	m.spent.With(dataset).Set(e.Spent)
+	m.budget.With(dataset).Set(e.Budget)
+}
+
+func (m *Metrics) chargeCommitted(dataset string, eps float64, e Entry) {
+	if m == nil {
+		return
+	}
+	m.charged.With(dataset).Add(eps)
+	m.setState(dataset, e)
+}
+
+func (m *Metrics) refundCommitted(dataset string, eps float64, e Entry) {
+	if m == nil {
+		return
+	}
+	m.refunded.With(dataset).Add(eps)
+	m.setState(dataset, e)
+}
+
+func (m *Metrics) chargeRejected() {
+	if m == nil {
+		return
+	}
+	m.rejected.Inc()
+}
+
+func (m *Metrics) replayHit() {
+	if m == nil {
+		return
+	}
+	m.replays.Inc()
+}
+
+func (m *Metrics) persistFailed() {
+	if m == nil {
+		return
+	}
+	m.persistFailures.Inc()
+}
+
+// RecoveredTruncation returns the bytes the WAL dropped while
+// recovering this ledger (a torn tail after a crash, or a corrupt
+// suffix under fsck); 0 after a clean open or for non-WAL ledgers.
+// /readyz reports it so operators see that recovery repaired damage.
+func (l *Ledger) RecoveredTruncation() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.log == nil {
+		return 0
+	}
+	return l.log.Truncated()
+}

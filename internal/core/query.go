@@ -183,6 +183,7 @@ var ErrImpossibleEvidence = errors.New("evidence has probability zero under the 
 type queryConfig struct {
 	maxCells    int
 	parallelism int
+	stats       *infer.Stats
 }
 
 // QueryOption configures Model.Query, in the functional-option style of
@@ -203,6 +204,13 @@ func QueryMaxCells(cells int) QueryOption {
 // — so parallelism only changes latency on very large factors.
 func QueryParallelism(p int) QueryOption {
 	return func(c *queryConfig) { c.parallelism = p }
+}
+
+// QueryStats directs the engine's work counters (factor products, peak
+// cells) into s, for telemetry at the serving layer. Observational
+// only: filling s cannot change the answer.
+func QueryStats(s *infer.Stats) QueryOption {
+	return func(c *queryConfig) { c.stats = s }
 }
 
 // Query answers q by exact variable-elimination inference over the
@@ -226,7 +234,7 @@ func (m *Model) Query(ctx context.Context, q Query, opts ...QueryOption) (*Query
 	if err != nil {
 		return nil, err
 	}
-	opt := infer.Options{MaxCells: cfg.maxCells, Parallelism: cfg.parallelism}
+	opt := infer.Options{MaxCells: cfg.maxCells, Parallelism: cfg.parallelism, Stats: cfg.stats}
 
 	table, err := m.engine().Joint(ctx, targets, evidence, opt)
 	if err != nil {

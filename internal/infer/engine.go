@@ -79,6 +79,10 @@ type Options struct {
 	// <= 0 selects GOMAXPROCS. Any setting produces bit-identical
 	// results — cell products are independent writes.
 	Parallelism int
+	// Stats, when non-nil, receives the work counters of the run (factor
+	// products, peak cells). Purely observational: filling it cannot
+	// change the answer or the elimination order.
+	Stats *Stats
 }
 
 // Engine answers exact queries over one fitted model's CPTs. An Engine
@@ -166,6 +170,7 @@ func (e *Engine) Joint(ctx context.Context, targets []Target, evidence []Evidenc
 		if err != nil {
 			return nil, err
 		}
+		opt.Stats.noteFactor(f)
 		factors = append(factors, f)
 	}
 
@@ -192,7 +197,7 @@ func (e *Engine) Joint(ctx context.Context, targets []Target, evidence []Evidenc
 			}
 		}
 		var err error
-		if factors, err = eliminate(factors, best, masks[best], maxCells, workers); err != nil {
+		if factors, err = eliminate(factors, best, masks[best], maxCells, workers, opt.Stats); err != nil {
 			return nil, err
 		}
 		next := elim[:0]
@@ -210,6 +215,7 @@ func (e *Engine) Joint(ctx context.Context, targets []Target, evidence []Evidenc
 		if joint, err = joint.multiply(f, maxCells, workers); err != nil {
 			return nil, err
 		}
+		opt.Stats.noteProduct(joint)
 	}
 	return joint.project(e.attrs, targets)
 }
@@ -236,7 +242,7 @@ func bucketCells(factors []*factor, v int) int {
 // eliminate sums attribute v out of the factor list: its bucket —
 // every factor mentioning v, joined in list order — is replaced by the
 // bucket product with v aggregated away under mask.
-func eliminate(factors []*factor, v int, mask []bool, maxCells, workers int) ([]*factor, error) {
+func eliminate(factors []*factor, v int, mask []bool, maxCells, workers int, stats *Stats) ([]*factor, error) {
 	rest := make([]*factor, 0, len(factors))
 	var prod *factor
 	for _, f := range factors {
@@ -252,6 +258,7 @@ func eliminate(factors []*factor, v int, mask []bool, maxCells, workers int) ([]
 		if prod, err = prod.multiply(f, maxCells, workers); err != nil {
 			return nil, err
 		}
+		stats.noteProduct(prod)
 	}
 	if prod == nil {
 		return rest, nil

@@ -292,3 +292,30 @@ func TestJointCancelled(t *testing.T) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }
+
+// TestJointStats: Options.Stats receives the run's work counters, and
+// filling it changes nothing about the answer.
+func TestJointStats(t *testing.T) {
+	e := randomEngine(t, []int{3, 2, 4, 2, 3}, 2, 7)
+	targets := []Target{{Attr: 4}, {Attr: 1}}
+	plain, err := e.Joint(context.Background(), targets, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats Stats
+	got, err := e.Joint(context.Background(), targets, nil, Options{Stats: &stats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Products == 0 {
+		t.Fatal("stats recorded no factor products for a multi-attribute query")
+	}
+	if stats.PeakCells <= 0 {
+		t.Fatalf("stats.PeakCells = %d, want > 0", stats.PeakCells)
+	}
+	for i := range plain.P {
+		if plain.P[i] != got.P[i] {
+			t.Fatalf("cell %d differs with stats attached: %v vs %v", i, got.P[i], plain.P[i])
+		}
+	}
+}

@@ -1,0 +1,34 @@
+package infer
+
+// Stats reports the work one Joint call performed. The engine fills a
+// caller-supplied Stats (Options.Stats) with plain int writes — no
+// atomics, no clock reads, no telemetry dependency — so the query
+// engine itself stays observation-free and the serving layer decides
+// what becomes a metric. A nil Stats costs nothing.
+type Stats struct {
+	// Products counts factor products (relational joins) performed,
+	// including the final joint assembly.
+	Products int
+	// PeakCells is the cell count of the largest factor materialized —
+	// the query's actual working-set high-water mark against MaxCells.
+	PeakCells int
+}
+
+// noteProduct records one completed factor product.
+func (s *Stats) noteProduct(f *factor) {
+	if s == nil {
+		return
+	}
+	s.Products++
+	s.noteFactor(f)
+}
+
+// noteFactor tracks the peak materialized factor size.
+func (s *Stats) noteFactor(f *factor) {
+	if s == nil {
+		return
+	}
+	if len(f.p) > s.PeakCells {
+		s.PeakCells = len(f.p)
+	}
+}

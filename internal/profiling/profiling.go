@@ -1,48 +1,73 @@
 // Package profiling wires the -cpuprofile/-memprofile CLI flags to
 // runtime/pprof, shared by cmd/privbayes and cmd/experiments so
-// hot-path regressions are diagnosable in the field without code edits.
+// hot-path regressions are diagnosable in the field without code
+// edits, and exposes the net/http/pprof handlers on an isolated mux
+// for the daemon's -pprof-addr listener.
 package profiling
 
 import (
-	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"runtime"
-	"runtime/pprof"
+	runtimepprof "runtime/pprof"
+
+	"privbayes/internal/telemetry"
 )
 
 // Start begins CPU profiling when cpu is non-empty and returns a stop
 // function that flushes the CPU profile and, when mem is non-empty,
 // writes a heap profile (after a GC). Callers must invoke stop on every
 // exit path — including failures, which are exactly when profiles are
-// wanted — before os.Exit. errPrefix labels stderr diagnostics.
-func Start(cpu, mem, errPrefix string) (stop func(), err error) {
+// wanted — before os.Exit. Diagnostics flow through log; nil discards
+// them.
+func Start(cpu, mem string, log *slog.Logger) (stop func(), err error) {
+	if log == nil {
+		log = telemetry.NopLogger()
+	}
 	var cpuFile *os.File
 	if cpu != "" {
 		cpuFile, err = os.Create(cpu)
 		if err != nil {
 			return nil, err
 		}
-		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+		if err := runtimepprof.StartCPUProfile(cpuFile); err != nil {
 			cpuFile.Close()
 			return nil, err
 		}
 	}
 	return func() {
 		if cpuFile != nil {
-			pprof.StopCPUProfile()
+			runtimepprof.StopCPUProfile()
 			cpuFile.Close()
 		}
 		if mem != "" {
 			f, err := os.Create(mem)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "%s: memprofile: %v\n", errPrefix, err)
+				log.Error("memprofile", slog.String("error", err.Error()))
 				return
 			}
 			runtime.GC()
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintf(os.Stderr, "%s: memprofile: %v\n", errPrefix, err)
+			if err := runtimepprof.WriteHeapProfile(f); err != nil {
+				log.Error("memprofile", slog.String("error", err.Error()))
 			}
 			f.Close()
 		}
 	}, nil
+}
+
+// Mux returns a fresh ServeMux serving the net/http/pprof endpoints
+// under /debug/pprof/. The daemon binds it to its own -pprof-addr
+// listener (typically loopback) rather than the service port, so
+// profiling never rides the same exposure as the API. The handlers are
+// wired explicitly; nothing here serves http.DefaultServeMux.
+func Mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"privbayes/internal/core"
+	"privbayes/internal/telemetry"
 )
 
 // benchModel caches one fitted fixture across all benchmark runs so
@@ -56,5 +57,56 @@ func BenchmarkServeSynthesize(b *testing.B) {
 				b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
 			})
 		}
+	}
+}
+
+// BenchmarkServeSynthesizeTelemetry measures the end-to-end serving
+// cost of the telemetry subsystem: the same streaming-synthesis
+// workload with the registry and structured logging fully enabled
+// ("on", logs JSON-encoded into io.Discard) versus the nil-registry
+// no-op path ("off"). benchjson pairs the off/on sub-benchmarks into
+// the serve_telemetry_on_vs_off ratio in BENCH_telemetry.json; the
+// acceptance bar is on/off overhead within 5%.
+func BenchmarkServeSynthesizeTelemetry(b *testing.B) {
+	benchModel.once.Do(func() { benchModel.m = fitTestModel(b) })
+	for _, mode := range []string{"off", "on"} {
+		b.Run(mode+"/n=10000/par=4", func(b *testing.B) {
+			cfg := Config{MaxWorkers: 4}
+			if mode == "on" {
+				logger, err := telemetry.NewLogger(io.Discard, "json", "info")
+				if err != nil {
+					b.Fatal(err)
+				}
+				cfg.Telemetry = telemetry.NewRegistry()
+				cfg.Logger = logger
+			}
+			s, err := New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := s.Registry().Put("bench", "dir", benchModel.m, 1); err != nil {
+				b.Fatal(err)
+			}
+			ts := httptest.NewServer(s)
+			defer ts.Close()
+			c := NewClient(ts.URL)
+			ctx := context.Background()
+
+			const n, par = 10_000, 4
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				seed := int64(i)
+				stream, err := c.Synthesize(ctx, "bench", SynthesizeRequest{N: n, Seed: &seed, Parallelism: par})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := io.Copy(io.Discard, stream.Body); err != nil {
+					b.Fatal(err)
+				}
+				stream.Close()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+		})
 	}
 }

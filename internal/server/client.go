@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"mime/multipart"
 	"net/http"
 	"net/url"
@@ -12,6 +13,7 @@ import (
 	"strings"
 
 	"privbayes/internal/accountant"
+	"privbayes/internal/telemetry"
 )
 
 // Client talks to a privbayesd instance. It is the programmatic
@@ -27,6 +29,11 @@ type Client struct {
 	// DefaultRetryPolicy. Requests whose bodies cannot be replayed
 	// (non-seekable uploads) are never retried regardless of policy.
 	Retry RetryPolicy
+	// Logger, when non-nil, receives one structured line per retry
+	// attempt: the failure being retried (status or transport error),
+	// the backoff chosen, and any server Retry-After hint. Nil keeps
+	// the client silent.
+	Logger *slog.Logger
 }
 
 // NewClient returns a client for the server at baseURL.
@@ -41,15 +48,49 @@ func (c *Client) http() *http.Client {
 	return http.DefaultClient
 }
 
-// apiError decodes a non-2xx response into an error.
+// APIError is a decoded non-2xx server response. Error() keeps the
+// historical "server: <status>[: <message>]" text; the fields expose
+// what the text flattens — in particular RequestID, the server's
+// X-Privbayes-Request-Id echo, which is the handle to grep the
+// daemon's logs for the exact request that failed. Unwrap with
+// errors.As:
+//
+//	var apiErr *server.APIError
+//	if errors.As(err, &apiErr) { correlate(apiErr.RequestID) }
+type APIError struct {
+	// StatusCode is the numeric HTTP status, e.g. 429.
+	StatusCode int
+	// Status is the full status line, e.g. "429 Too Many Requests".
+	Status string
+	// Message is the server's error body, when it sent one.
+	Message string
+	// RequestID is the X-Privbayes-Request-Id the daemon assigned (or
+	// accepted) for the failed request; empty when talking to servers
+	// that predate request IDs.
+	RequestID string
+}
+
+func (e *APIError) Error() string {
+	if e.Message != "" {
+		return fmt.Sprintf("server: %s: %s", e.Status, e.Message)
+	}
+	return fmt.Sprintf("server: %s", e.Status)
+}
+
+// apiError decodes a non-2xx response into an *APIError.
 func apiError(resp *http.Response) error {
 	defer resp.Body.Close()
+	e := &APIError{
+		StatusCode: resp.StatusCode,
+		Status:     resp.Status,
+		RequestID:  resp.Header.Get(telemetry.RequestIDHeader),
+	}
 	var body errorBody
 	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
 	if json.Unmarshal(raw, &body) == nil && body.Error != "" {
-		return fmt.Errorf("server: %s: %s", resp.Status, body.Error)
+		e.Message = body.Error
 	}
-	return fmt.Errorf("server: %s", resp.Status)
+	return e
 }
 
 func (c *Client) getJSON(ctx context.Context, path string, out any) error {

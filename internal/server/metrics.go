@@ -1,0 +1,242 @@
+package server
+
+import (
+	"errors"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"time"
+
+	"privbayes"
+	"privbayes/internal/infer"
+	"privbayes/internal/telemetry"
+)
+
+// serverMetrics is the daemon's metric catalog. Built from
+// Config.Telemetry; with a nil registry every field is a nil metric
+// whose methods no-op, so the instrumented code path is identical with
+// telemetry on and off — the determinism contract cannot be perturbed
+// by an untested branch.
+type serverMetrics struct {
+	reg *telemetry.Registry
+
+	requests      *telemetry.CounterVec   // by route and status class
+	inFlight      *telemetry.Gauge        // requests currently being served
+	latency       *telemetry.HistogramVec // request wall time by route
+	responseBytes *telemetry.CounterVec   // response body bytes by route
+	shed          *telemetry.CounterVec   // load-shedding responses by route and code
+
+	pipelinePhase *telemetry.HistogramVec // fit/synthesis phase durations
+	fits          *telemetry.CounterVec   // completed fits by outcome
+	synthRows     *telemetry.Counter      // synthetic rows streamed
+
+	queries        *telemetry.CounterVec // exact queries by kind and outcome
+	queryProducts  *telemetry.Counter    // factor products across all queries
+	queryPeakCells *telemetry.Histogram  // per-query peak factor size
+	queryRejected  *telemetry.Counter    // queries over the cell cap
+}
+
+// newServerMetrics registers the server's metric families and the
+// gauge funcs that read live server state at scrape time. A nil
+// registry yields a catalog of no-op metrics.
+func newServerMetrics(reg *telemetry.Registry, s *Server) *serverMetrics {
+	m := &serverMetrics{
+		reg: reg,
+		requests: reg.CounterVec("privbayes_http_requests_total",
+			"HTTP requests served, by route and status class.", "route", "class"),
+		inFlight: reg.Gauge("privbayes_http_requests_in_flight",
+			"Requests currently being served."),
+		latency: reg.HistogramVec("privbayes_http_request_duration_seconds",
+			"Request wall time by route.", nil, "route"),
+		responseBytes: reg.CounterVec("privbayes_http_response_bytes_total",
+			"Response body bytes written, by route.", "route"),
+		shed: reg.CounterVec("privbayes_http_requests_shed_total",
+			"Requests turned away by load shedding (429 per-dataset fit cap, 503 queue full), by route and status code.",
+			"route", "code"),
+		pipelinePhase: reg.HistogramVec("privbayes_pipeline_phase_duration_seconds",
+			"Pipeline phase durations: network and marginals per fit, sampling per synthesis chunk.",
+			nil, "phase"),
+		fits: reg.CounterVec("privbayes_fits_total",
+			"Curator fits by outcome: created, replayed (idempotent), or failed.", "outcome"),
+		synthRows: reg.Counter("privbayes_synthesis_rows_total",
+			"Synthetic rows streamed to clients."),
+		queries: reg.CounterVec("privbayes_queries_total",
+			"Exact inference queries by kind and outcome.", "kind", "outcome"),
+		queryProducts: reg.Counter("privbayes_infer_factor_products_total",
+			"Factor products performed by the variable-elimination engine."),
+		queryPeakCells: reg.Histogram("privbayes_infer_peak_cells",
+			"Per-query peak materialized factor size, in cells.",
+			telemetry.ExponentialBuckets(64, 4, 12)),
+		queryRejected: reg.Counter("privbayes_queries_rejected_total",
+			"Queries rejected because an intermediate factor would exceed the cell cap."),
+	}
+	reg.GaugeFunc("privbayes_worker_queue_depth",
+		"Requests waiting for worker slots; sheds past the configured cap.",
+		func() float64 { return float64(s.workers.queueDepth()) })
+	reg.GaugeFunc("privbayes_workers_available",
+		"Worker slots currently free in the server-wide budget.",
+		func() float64 { return float64(s.workers.available()) })
+	reg.GaugeFunc("privbayes_workers_total",
+		"Size of the server-wide worker budget.",
+		func() float64 { return float64(s.workers.total) })
+	reg.GaugeFunc("privbayes_models_registered",
+		"Models currently in the registry.",
+		func() float64 { return float64(s.registry.Len()) })
+	return m
+}
+
+// enabled reports whether a real registry backs the catalog; seams that
+// would otherwise pay for timers (progress adapters, clock reads on the
+// synthesize hot loop) check it once per request.
+func (m *serverMetrics) enabled() bool { return m.reg != nil }
+
+// noteQuery records one exact-inference query: kind/outcome counts,
+// engine work counters, and cell-cap rejections.
+func (m *serverMetrics) noteQuery(kind string, stats infer.Stats, err error) {
+	outcome := "ok"
+	switch {
+	case err == nil:
+	case errors.Is(err, infer.ErrTooLarge):
+		outcome = "rejected"
+		m.queryRejected.Inc()
+	default:
+		outcome = "error"
+	}
+	m.queries.With(kind, outcome).Inc()
+	if stats.Products > 0 {
+		m.queryProducts.Add(float64(stats.Products))
+	}
+	if stats.PeakCells > 0 {
+		m.queryPeakCells.Observe(float64(stats.PeakCells))
+	}
+}
+
+// phaseTimer adapts the fit pipeline's serialized progress events into
+// per-phase duration observations. Events arrive one at a time (the
+// core progressSink holds a mutex across delivery), so no locking is
+// needed here, and the adapter only reads the clock — it never touches
+// RNG streams or reorders pipeline work.
+type phaseTimer struct {
+	m       *serverMetrics
+	current privbayes.Phase
+	started bool
+	t0      time.Time
+}
+
+func (pt *phaseTimer) observe(ev privbayes.Progress) {
+	if pt.started && ev.Phase != pt.current {
+		pt.m.pipelinePhase.With(pt.current.String()).Observe(time.Since(pt.t0).Seconds())
+		pt.started = false
+	}
+	if !pt.started {
+		pt.current, pt.started, pt.t0 = ev.Phase, true, time.Now()
+	}
+	if ev.Done >= ev.Total && ev.Total > 0 {
+		pt.m.pipelinePhase.With(pt.current.String()).Observe(time.Since(pt.t0).Seconds())
+		pt.started = false
+	}
+}
+
+// statusClass buckets an HTTP status for the requests counter.
+func statusClass(code int) string {
+	switch {
+	case code >= 500:
+		return "5xx"
+	case code >= 400:
+		return "4xx"
+	case code >= 300:
+		return "3xx"
+	default:
+		return "2xx"
+	}
+}
+
+// statusRecorder observes the status code and body size a handler
+// produces. It forwards Flush so the synthesize stream keeps its
+// chunk-by-chunk delivery, and Unwrap so http.ResponseController and
+// interface probes reach the underlying writer.
+type statusRecorder struct {
+	http.ResponseWriter
+	code  int
+	bytes int64
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.code == 0 {
+		r.code = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.code == 0 {
+		r.code = http.StatusOK
+	}
+	n, err := r.ResponseWriter.Write(b)
+	r.bytes += int64(n)
+	return n, err
+}
+
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
+
+// status returns the response code, defaulting to 200 for handlers
+// that never wrote (a streamed response aborted before headers reports
+// whatever was committed).
+func (r *statusRecorder) status() int {
+	if r.code == 0 {
+		return http.StatusOK
+	}
+	return r.code
+}
+
+// instrument wraps a handler with the telemetry middleware: request-ID
+// propagation (accepted from a valid client header, generated
+// otherwise, echoed on the response and carried in the context for
+// every log line the request produces), per-route metrics, and one
+// structured log line per request. Route names are fixed strings, not
+// request paths, so metric label cardinality is bounded by the route
+// table.
+func (s *Server) instrument(route string, h http.Handler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		reqID := r.Header.Get(telemetry.RequestIDHeader)
+		if !telemetry.ValidRequestID(reqID) {
+			// Request IDs come from crypto/rand, never from any seeded
+			// stream a fit or synthesis draws on.
+			reqID = telemetry.NewRequestID()
+		}
+		w.Header().Set(telemetry.RequestIDHeader, reqID)
+		r = r.WithContext(telemetry.WithRequestID(r.Context(), reqID))
+
+		m := s.metrics
+		rec := &statusRecorder{ResponseWriter: w}
+		start := time.Now()
+		m.inFlight.Inc()
+		h.ServeHTTP(rec, r)
+		m.inFlight.Dec()
+		elapsed := time.Since(start)
+
+		status := rec.status()
+		m.requests.With(route, statusClass(status)).Inc()
+		m.latency.With(route).Observe(elapsed.Seconds())
+		m.responseBytes.With(route).Add(float64(rec.bytes))
+		if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+			m.shed.With(route, strconv.Itoa(status)).Inc()
+		}
+
+		s.log.LogAttrs(r.Context(), slog.LevelInfo, "request",
+			slog.String("request_id", reqID),
+			slog.String("method", r.Method),
+			slog.String("route", route),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", status),
+			slog.Int64("bytes", rec.bytes),
+			slog.Duration("duration", elapsed),
+		)
+	}
+}

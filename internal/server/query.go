@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"privbayes/internal/core"
+	"privbayes/internal/infer"
 )
 
 // QueryRequest is the body of POST /models/{id}/query — the wire form
@@ -86,9 +87,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		return // otherwise: client gone while waiting for workers
 	}
+	var stats infer.Stats
 	res, err := model.Query(r.Context(), q,
-		core.QueryMaxCells(req.MaxCells), core.QueryParallelism(got))
+		core.QueryMaxCells(req.MaxCells), core.QueryParallelism(got),
+		core.QueryStats(&stats))
 	release()
+	s.metrics.noteQuery(req.Kind, stats, err)
 	if err != nil {
 		writeError(w, statusFor(err), "%v", err)
 		return

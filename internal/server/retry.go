@@ -4,6 +4,8 @@ import (
 	"context"
 	cryptorand "crypto/rand"
 	"encoding/hex"
+	"errors"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"strconv"
@@ -106,8 +108,10 @@ func (c *Client) do(ctx context.Context, build func() (*http.Request, error)) (*
 	retryAfter := ""
 	for i := 0; i < attempts; i++ {
 		if i > 0 {
+			d := c.Retry.backoff(i-1, retryAfter)
+			c.logRetry(ctx, i+1, attempts, lastErr, retryAfter, d)
 			select {
-			case <-time.After(c.Retry.backoff(i-1, retryAfter)):
+			case <-time.After(d):
 			case <-ctx.Done():
 				return nil, ctx.Err()
 			}
@@ -132,6 +136,36 @@ func (c *Client) do(ctx context.Context, build func() (*http.Request, error)) (*
 		return resp, nil
 	}
 	return nil, lastErr
+}
+
+// logRetry emits one structured line per retry attempt through the
+// client's optional Logger: which attempt is about to run, what failed
+// (HTTP status plus the server's request ID when the failure was an
+// *APIError, the transport error otherwise), the backoff about to be
+// slept, and the Retry-After hint being honored, if any.
+func (c *Client) logRetry(ctx context.Context, attempt, attempts int, cause error, retryAfter string, wait time.Duration) {
+	if c.Logger == nil {
+		return
+	}
+	attrs := []slog.Attr{
+		slog.Int("attempt", attempt),
+		slog.Int("max_attempts", attempts),
+		slog.Duration("backoff", wait),
+	}
+	var apiErr *APIError
+	switch {
+	case errors.As(cause, &apiErr):
+		attrs = append(attrs, slog.Int("status", apiErr.StatusCode))
+		if apiErr.RequestID != "" {
+			attrs = append(attrs, slog.String("request_id", apiErr.RequestID))
+		}
+	case cause != nil:
+		attrs = append(attrs, slog.String("error", cause.Error()))
+	}
+	if retryAfter != "" {
+		attrs = append(attrs, slog.String("retry_after", retryAfter))
+	}
+	c.Logger.LogAttrs(ctx, slog.LevelWarn, "retrying request", attrs...)
 }
 
 // newIdempotencyKey draws a fresh random key for a retryable fit.

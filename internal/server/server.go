@@ -28,6 +28,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
 	"mime"
 	"net/http"
@@ -35,6 +36,7 @@ import (
 	"path/filepath"
 	"strconv"
 	"sync/atomic"
+	"time"
 
 	"privbayes"
 	"privbayes/internal/accountant"
@@ -43,6 +45,7 @@ import (
 	"privbayes/internal/faultfs"
 	"privbayes/internal/infer"
 	"privbayes/internal/parallel"
+	"privbayes/internal/telemetry"
 )
 
 // Defaults for Config zero values.
@@ -93,8 +96,18 @@ type Config struct {
 	// selects the real filesystem. Tests inject write/sync/rename
 	// faults and crashes here (internal/faultfs).
 	FS faultfs.FS
-	// Logf, when set, receives operational log lines.
+	// Logf, when set, receives operational log lines. It predates
+	// Logger and wins over it for those lines when both are set.
 	Logf func(format string, args ...any)
+	// Logger receives structured logs: one line per request (with its
+	// request ID) plus operational notes when Logf is unset. Nil
+	// discards them.
+	Logger *slog.Logger
+	// Telemetry, when set, receives every server metric family and is
+	// served at GET /metrics and GET /debug/vars. Nil disables metrics;
+	// the handlers still serve (empty exposition) and request IDs still
+	// flow.
+	Telemetry *telemetry.Registry
 }
 
 // Server implements http.Handler over a model registry, a worker
@@ -113,6 +126,10 @@ type Server struct {
 	maxPar     int
 	mux        *http.ServeMux
 	seq        atomic.Int64 // generated-id counter
+
+	metrics    *serverMetrics // never nil; no-op without a registry
+	log        *slog.Logger   // never nil; NopLogger without a Logger
+	loadErrors int            // model artifacts skipped at startup
 }
 
 // New builds a Server, loading any models already in cfg.ModelsDir.
@@ -148,6 +165,14 @@ func New(cfg Config) (*Server, error) {
 	if s.maxPar <= 0 || s.maxPar > s.workers.total {
 		s.maxPar = s.workers.total
 	}
+	s.log = cfg.Logger
+	if s.log == nil {
+		s.log = telemetry.NopLogger()
+	}
+	s.metrics = newServerMetrics(cfg.Telemetry, s)
+	if cfg.Ledger != nil {
+		cfg.Ledger.Instrument(accountant.NewMetrics(cfg.Telemetry))
+	}
 	if cfg.Ledger != nil && cfg.Ledger.Path() != "" {
 		abs, err := filepath.Abs(cfg.Ledger.Path())
 		if err != nil {
@@ -170,23 +195,35 @@ func New(cfg Config) (*Server, error) {
 			}
 		}
 		n, errs := s.registry.LoadDir(cfg.ModelsDir, s.ledgerPath)
+		s.loadErrors = len(errs)
 		for _, err := range errs {
 			s.logf("skipping model artifact: %v", err)
 		}
 		s.logf("loaded %d model(s) from %s", n, cfg.ModelsDir)
 	}
 
+	// Every route goes through the telemetry middleware under a fixed
+	// route name, so metric label cardinality is bounded by this table
+	// no matter what paths clients send.
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealth)
-	mux.HandleFunc("GET /models", s.handleList)
-	mux.HandleFunc("POST /models", s.handleUpload)
-	mux.HandleFunc("GET /models/{id}", s.handleModel)
-	mux.HandleFunc("GET /models/{id}/synthesize", s.handleSynthesize)
-	mux.HandleFunc("POST /models/{id}/synthesize", s.handleSynthesize)
-	mux.HandleFunc("POST /models/{id}/marginal", s.handleMarginal)
-	mux.HandleFunc("POST /models/{id}/query", s.handleQuery)
-	mux.HandleFunc("POST /fit", s.handleFit)
-	mux.HandleFunc("GET /budget", s.handleBudget)
+	handle := func(pattern, route string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, s.instrument(route, h))
+	}
+	handle("GET /healthz", "healthz", s.handleHealth)
+	handle("GET /readyz", "readyz", s.handleReady)
+	handle("GET /models", "models_list", s.handleList)
+	handle("POST /models", "models_upload", s.handleUpload)
+	handle("GET /models/{id}", "model_get", s.handleModel)
+	handle("GET /models/{id}/synthesize", "synthesize", s.handleSynthesize)
+	handle("POST /models/{id}/synthesize", "synthesize", s.handleSynthesize)
+	handle("POST /models/{id}/marginal", "marginal", s.handleMarginal)
+	handle("POST /models/{id}/query", "query", s.handleQuery)
+	handle("POST /fit", "fit", s.handleFit)
+	handle("GET /budget", "budget", s.handleBudget)
+	// Scrape endpoints are served outside the middleware: a scrape must
+	// not inflate the request counters it reports.
+	mux.Handle("GET /metrics", cfg.Telemetry.Handler())
+	mux.Handle("GET /debug/vars", telemetry.ExpvarHandler(cfg.Telemetry))
 	s.mux = mux
 	return s, nil
 }
@@ -200,7 +237,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 func (s *Server) logf(format string, args ...any) {
 	if s.cfg.Logf != nil {
 		s.cfg.Logf(format, args...)
+		return
 	}
+	s.log.Info(fmt.Sprintf(format, args...))
 }
 
 // freshID generates "<prefix>-N", skipping ids already registered —
@@ -289,6 +328,25 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"workers_available": s.workers.available(),
 		"queue_depth":       s.workers.queueDepth(),
 	})
+}
+
+// handleReady is the readiness probe: where /healthz answers "the
+// process is up", /readyz answers "startup completed and recovery is
+// accounted for" — how many artifacts loaded (and how many were
+// skipped as corrupt), whether a privacy ledger is attached, and how
+// many bytes WAL recovery had to truncate to repair a torn tail.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	body := map[string]any{
+		"status":            "ready",
+		"models":            s.registry.Len(),
+		"model_load_errors": s.loadErrors,
+		"ledger":            "none",
+	}
+	if s.ledger != nil {
+		body["ledger"] = "ok"
+		body["wal_recovered_truncated_bytes"] = s.ledger.RecoveredTruncation()
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
@@ -556,12 +614,24 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 		// workers the budget could spare. The request context cancels
 		// generation mid-chunk (every 2048 rows), so a disconnected
 		// client stops costing CPU within one sample chunk.
+		// Timing one chunk is a pure side channel: the clock reads
+		// bracket the sample call and touch neither rng nor the chunk
+		// geometry, so the streamed bytes are identical with telemetry
+		// on and off (TestSynthesizeDeterministicWithTelemetry).
 		eff := max(got, 2)
+		var t0 time.Time
+		if s.metrics.enabled() {
+			t0 = time.Now()
+		}
 		chunk, err := model.SampleContext(ctx, rows, rng, eff)
+		if s.metrics.enabled() {
+			s.metrics.pipelinePhase.With("sampling").Observe(time.Since(t0).Seconds())
+		}
 		release()
 		if err != nil {
 			return // client gone mid-generation
 		}
+		s.metrics.synthRows.Add(float64(rows))
 		if p.Format == "csv" {
 			if err := chunk.WriteCSVRows(cw, 0, rows); err != nil {
 				return
@@ -618,8 +688,11 @@ func (s *Server) handleMarginal(w http.ResponseWriter, r *http.Request) {
 	if req.MaxCells <= 0 || req.MaxCells > core.DefaultInferenceCells {
 		req.MaxCells = core.DefaultInferenceCells
 	}
+	var stats infer.Stats
 	res, err := model.Query(r.Context(), core.Marginal(req.Attrs...),
-		core.QueryMaxCells(req.MaxCells), core.QueryParallelism(1))
+		core.QueryMaxCells(req.MaxCells), core.QueryParallelism(1),
+		core.QueryStats(&stats))
+	s.metrics.noteQuery("marginal", stats, err)
 	if err != nil {
 		writeError(w, statusFor(err), "%v", err)
 		return
@@ -779,6 +852,7 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 					// first attempt died after the durable charge (crash,
 					// failure) — finish the work now, charging nothing.
 					if _, meta, err := s.registry.Get(modelID); err == nil {
+						s.metrics.fits.With("replayed").Inc()
 						w.Header().Set("X-Privbayes-Idempotency-Replay", "true")
 						writeJSON(w, http.StatusOK, meta)
 						return
@@ -888,26 +962,38 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 	// of running to completion server-side, and the error path below
 	// refunds the ledger — an abandoned fit releases nothing, so it
 	// must cost nothing.
-	model, err := privbayes.Fit(r.Context(), ds,
+	fitOpts := []privbayes.Option{
 		privbayes.WithEpsilon(epsilon),
 		privbayes.WithSeed(seed),
 		privbayes.WithParallelism(max(got, 2)), // stay on the worker-count-independent paths
-	)
+	}
+	if s.metrics.enabled() {
+		// The progress adapter only reads the clock on serialized
+		// events; it cannot reorder pipeline work or touch the fit's
+		// seeded RNG, so the fitted model is identical with telemetry
+		// on and off.
+		pt := &phaseTimer{m: s.metrics}
+		fitOpts = append(fitOpts, privbayes.WithProgress(pt.observe))
+	}
+	model, err := privbayes.Fit(r.Context(), ds, fitOpts...)
 	release()
 	if err != nil {
 		// The failed (or cancelled) fit released nothing observable, so
 		// the budget charge is returned (sequential composition meters
 		// releases).
 		refund()
+		s.metrics.fits.With("failed").Inc()
 		writeError(w, http.StatusBadRequest, "fit: %v", err)
 		return
 	}
 	if err := s.registry.Put(modelID, "fit", model, epsilon); err != nil {
 		refund()
+		s.metrics.fits.With("failed").Inc()
 		writeError(w, statusFor(err), "%v", err)
 		return
 	}
 	s.persist(modelID, model, epsilon)
+	s.metrics.fits.With("created").Inc()
 	_, meta, _ := s.registry.Get(modelID)
 	w.Header().Set("X-Privbayes-Seed", strconv.FormatInt(seed, 10))
 	writeJSON(w, http.StatusCreated, meta)

@@ -1,0 +1,429 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"privbayes/internal/accountant"
+	"privbayes/internal/core"
+	"privbayes/internal/telemetry"
+)
+
+// scrape fetches GET /metrics and returns the exposition body.
+func scrape(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q, want text/plain exposition", ct)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestMetricsEndpoint drives traffic through every instrumented layer —
+// HTTP routes, a curator fit (ledger + WAL + pipeline phases), a
+// synthesis stream, an exact query — then scrapes /metrics and checks
+// the exposition spans them all: at least 12 families, with value-level
+// spot checks per subsystem.
+func TestMetricsEndpoint(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	ledger, err := accountant.OpenWAL(filepath.Join(t.TempDir(), "ledger.wal"), 2.0,
+		accountant.Options{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ledger.Close()
+	_, c, _ := newTestServer(t, Config{Telemetry: reg, Ledger: ledger})
+	ctx := context.Background()
+
+	if err := c.Health(ctx); err != nil {
+		t.Fatal(err)
+	}
+	body, ct := fitForm(t, "survey", 0.5)
+	if resp := postFit(t, c.BaseURL, "", body, ct); resp.StatusCode != http.StatusCreated {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("fit: %d %s", resp.StatusCode, raw)
+	}
+	seed := int64(5)
+	stream, err := c.Synthesize(ctx, "fixture", SynthesizeRequest{N: 500, Seed: &seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.Copy(io.Discard, stream.Body); err != nil {
+		t.Fatal(err)
+	}
+	stream.Close()
+	if _, err := c.Query(ctx, "fixture", QueryRequest{
+		Kind: "marginal", Attrs: []core.AttrRef{{Name: "color"}, {Name: "employed"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	text := scrape(t, c.BaseURL)
+	families := map[string]bool{}
+	for _, line := range strings.Split(text, "\n") {
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			families[strings.Fields(rest)[0]] = true
+		}
+	}
+	if len(families) < 12 {
+		t.Errorf("exposition has %d families, want >= 12:\n%s", len(families), text)
+	}
+	// One representative family per subsystem: HTTP middleware, privacy
+	// accountant, WAL, inference engine, fit pipeline, synthesis.
+	for _, want := range []string{
+		"privbayes_http_requests_total",
+		"privbayes_http_request_duration_seconds",
+		"privbayes_ledger_epsilon_spent",
+		"privbayes_wal_appends_total",
+		"privbayes_wal_fsync_duration_seconds",
+		"privbayes_infer_factor_products_total",
+		"privbayes_pipeline_phase_duration_seconds",
+		"privbayes_synthesis_rows_total",
+		"privbayes_worker_queue_depth",
+	} {
+		if !families[want] {
+			t.Errorf("family %s missing from exposition", want)
+		}
+	}
+	// Value-level spot checks, one per layer.
+	for _, want := range []string{
+		`privbayes_http_requests_total{route="healthz",class="2xx"} 1`,
+		`privbayes_fits_total{outcome="created"} 1`,
+		`privbayes_synthesis_rows_total 500`,
+		`privbayes_ledger_epsilon_spent{dataset="survey"} 0.5`,
+		`privbayes_queries_total{kind="marginal",outcome="ok"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	// The fit ran all three phases under the progress adapter.
+	for _, phase := range []string{"network", "marginals", "sampling"} {
+		if !strings.Contains(text, `privbayes_pipeline_phase_duration_seconds_count{phase="`+phase+`"}`) {
+			t.Errorf("no %s phase observations in exposition", phase)
+		}
+	}
+	// Engine work counters moved.
+	snap := reg.Snapshot()
+	if v, _ := snap["privbayes_infer_factor_products_total"].(float64); v <= 0 {
+		t.Errorf("infer_factor_products_total = %v, want > 0", snap["privbayes_infer_factor_products_total"])
+	}
+	if v, _ := snap["privbayes_wal_appends_total"].(float64); v < 1 {
+		t.Errorf("wal_appends_total = %v, want >= 1", snap["privbayes_wal_appends_total"])
+	}
+}
+
+// TestShedMetricsAccounting pins the middleware's accounting of PR 7's
+// load-shedding paths: a 503 from a full worker queue and a 429 from
+// the per-dataset fit cap each land in privbayes_http_requests_shed_total
+// under their route and code, and in the 4xx/5xx request classes.
+func TestShedMetricsAccounting(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	s, c, _ := newTestServer(t, Config{
+		Telemetry: reg, Ledger: accountant.New(10.0),
+		MaxWorkers: 2, MaxQueueDepth: 1, MaxFitsPerDataset: 1,
+	})
+	ctx := context.Background()
+
+	// Drain the worker budget, then park one request at the queue cap so
+	// the next arrival sheds.
+	_, release, err := s.workers.acquire(ctx, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queuedErr := make(chan error, 1)
+	go func() {
+		resp, err := http.Get(c.BaseURL + "/models/fixture/synthesize?n=10&seed=1")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		queuedErr <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.workers.queueDepth() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("queued request never parked")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	resp, err := http.Get(c.BaseURL + "/models/fixture/synthesize?n=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("overloaded synthesize: %d, want 503", resp.StatusCode)
+	}
+
+	// Occupy the dataset's only fit slot; the next fit gets 429.
+	leave, ok := s.fits.enter("busy")
+	if !ok {
+		t.Fatal("fit gauge rejected the first entrant")
+	}
+	body, ct := fitForm(t, "busy", 0.5)
+	if resp := postFit(t, c.BaseURL, "", body, ct); resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("fit past per-dataset cap: %d, want 429", resp.StatusCode)
+	}
+	leave()
+	release()
+	if err := <-queuedErr; err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	shed, _ := snap["privbayes_http_requests_shed_total"].(map[string]any)
+	if v, _ := shed["synthesize,503"].(float64); v != 1 {
+		t.Errorf("shed{synthesize,503} = %v, want 1", shed["synthesize,503"])
+	}
+	if v, _ := shed["fit,429"].(float64); v != 1 {
+		t.Errorf("shed{fit,429} = %v, want 1", shed["fit,429"])
+	}
+	requests, _ := snap["privbayes_http_requests_total"].(map[string]any)
+	if v, _ := requests["synthesize,5xx"].(float64); v != 1 {
+		t.Errorf("requests{synthesize,5xx} = %v, want 1", requests["synthesize,5xx"])
+	}
+	if v, _ := requests["fit,4xx"].(float64); v != 1 {
+		t.Errorf("requests{fit,4xx} = %v, want 1", requests["fit,4xx"])
+	}
+}
+
+// TestSynthesizeDeterministicWithTelemetry is the observability half of
+// the determinism contract: with telemetry and structured logging fully
+// enabled, a fixed-seed fit and a fixed-seed synthesis stream must be
+// byte-identical to the same operations on an uninstrumented server.
+// Metrics only read clocks and bump atomics; the moment one touches an
+// RNG stream or reorders pipeline work, this test fails.
+func TestSynthesizeDeterministicWithTelemetry(t *testing.T) {
+	run := func(cfg Config) (stream, fitted []byte) {
+		cfg.Ledger = accountant.New(2.0)
+		cfg.MaxWorkers = 3
+		_, c, _ := newTestServer(t, cfg)
+		ctx := context.Background()
+
+		seed := int64(42)
+		st, err := c.Synthesize(ctx, "fixture", SynthesizeRequest{N: 20_000, Seed: &seed, Parallelism: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream, err = io.ReadAll(st.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.Close()
+
+		// Fit through the full pipeline (seeded via fitForm), then stream
+		// from the fitted model: identical bytes mean the instrumented fit
+		// produced the identical model.
+		body, ct := fitForm(t, "survey", 0.5, [2]string{"model_id", "fitted"})
+		if resp := postFit(t, c.BaseURL, "", body, ct); resp.StatusCode != http.StatusCreated {
+			raw, _ := io.ReadAll(resp.Body)
+			t.Fatalf("fit: %d %s", resp.StatusCode, raw)
+		}
+		st, err = c.Synthesize(ctx, "fitted", SynthesizeRequest{N: 5_000, Seed: &seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fitted, err = io.ReadAll(st.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.Close()
+		return stream, fitted
+	}
+
+	var logBuf bytes.Buffer
+	logger, err := telemetry.NewLogger(&logBuf, "json", "debug")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainStream, plainFitted := run(Config{})
+	instrStream, instrFitted := run(Config{Telemetry: telemetry.NewRegistry(), Logger: logger})
+
+	if !bytes.Equal(plainStream, instrStream) {
+		t.Error("fixed-seed synthesis stream differs with telemetry enabled")
+	}
+	if !bytes.Equal(plainFitted, instrFitted) {
+		t.Error("fixed-seed fit+synthesize differs with telemetry enabled")
+	}
+	if logBuf.Len() == 0 {
+		t.Error("instrumented server produced no log lines")
+	}
+}
+
+// TestClientRetryLoggingAndAPIError pins the client's observability
+// contract: every retry attempt is logged (status, backoff, Retry-After
+// honored, the failing response's request ID), and non-2xx responses
+// decode to *APIError so callers can extract the server's request ID
+// for log correlation without parsing error strings.
+func TestClientRetryLoggingAndAPIError(t *testing.T) {
+	var hits int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits++
+		w.Header().Set(telemetry.RequestIDHeader, fmt.Sprintf("req-%d", hits))
+		if hits < 3 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(map[string]string{"error": "overloaded"})
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]any{"models": []ModelMeta{}})
+	}))
+	defer ts.Close()
+
+	var logBuf bytes.Buffer
+	logger, err := telemetry.NewLogger(&logBuf, "json", "info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(ts.URL)
+	c.Retry = RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}
+	c.Logger = logger
+	if _, err := c.Models(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if hits != 3 {
+		t.Fatalf("server saw %d requests, want 3", hits)
+	}
+	var attempts []struct {
+		Msg        string `json:"msg"`
+		Attempt    int    `json:"attempt"`
+		Status     int    `json:"status"`
+		RequestID  string `json:"request_id"`
+		RetryAfter string `json:"retry_after"`
+	}
+	for _, line := range strings.Split(strings.TrimSpace(logBuf.String()), "\n") {
+		var e struct {
+			Msg        string `json:"msg"`
+			Attempt    int    `json:"attempt"`
+			Status     int    `json:"status"`
+			RequestID  string `json:"request_id"`
+			RetryAfter string `json:"retry_after"`
+		}
+		if json.Unmarshal([]byte(line), &e) == nil && e.Msg == "retrying request" {
+			attempts = append(attempts, e)
+		}
+	}
+	if len(attempts) != 2 {
+		t.Fatalf("logged %d retry lines, want 2:\n%s", len(attempts), logBuf.String())
+	}
+	for i, a := range attempts {
+		if a.Attempt != i+2 || a.Status != http.StatusServiceUnavailable ||
+			a.RequestID != fmt.Sprintf("req-%d", i+1) || a.RetryAfter != "0" {
+			t.Errorf("retry line %d = %+v", i, a)
+		}
+	}
+
+	// A terminal failure surfaces as *APIError carrying the status, the
+	// server's message, and its request ID — without changing the
+	// historical error text.
+	notFound := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(telemetry.RequestIDHeader, "req-404")
+		w.WriteHeader(http.StatusNotFound)
+		json.NewEncoder(w).Encode(map[string]string{"error": "model not found"})
+	}))
+	defer notFound.Close()
+	_, err = NewClient(notFound.URL).Model(context.Background(), "nope")
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("error %T %v, want *APIError", err, err)
+	}
+	if apiErr.StatusCode != http.StatusNotFound || apiErr.RequestID != "req-404" || apiErr.Message != "model not found" {
+		t.Errorf("APIError = %+v", apiErr)
+	}
+	if want := "server: 404 Not Found: model not found"; apiErr.Error() != want {
+		t.Errorf("APIError.Error() = %q, want %q", apiErr.Error(), want)
+	}
+}
+
+// TestRequestIDPropagation pins the request-ID contract: a valid
+// client-supplied ID is honored (echoed on the response and stamped on
+// the request's log line); a missing or invalid one is replaced with a
+// generated ID, never rejected.
+func TestRequestIDPropagation(t *testing.T) {
+	var logBuf bytes.Buffer
+	logger, err := telemetry.NewLogger(&logBuf, "json", "info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, c, _ := newTestServer(t, Config{Logger: logger, Telemetry: telemetry.NewRegistry()})
+
+	get := func(id string) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, c.BaseURL+"/healthz", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != "" {
+			req.Header.Set(telemetry.RequestIDHeader, id)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	// Client-supplied IDs are honored verbatim.
+	resp := get("trace-me-42")
+	if got := resp.Header.Get(telemetry.RequestIDHeader); got != "trace-me-42" {
+		t.Errorf("echoed ID = %q, want the client's trace-me-42", got)
+	}
+	// Absent or invalid IDs are replaced with generated, valid ones.
+	resp = get("")
+	generated := resp.Header.Get(telemetry.RequestIDHeader)
+	if !telemetry.ValidRequestID(generated) {
+		t.Errorf("generated ID %q is not valid", generated)
+	}
+	resp = get("bad id\twith spaces")
+	if got := resp.Header.Get(telemetry.RequestIDHeader); got == "bad id\twith spaces" || !telemetry.ValidRequestID(got) {
+		t.Errorf("invalid client ID echoed as %q, want a replacement", got)
+	}
+
+	// Every request logged one line carrying its request ID.
+	var ids []string
+	for _, line := range strings.Split(strings.TrimSpace(logBuf.String()), "\n") {
+		var entry struct {
+			Msg       string `json:"msg"`
+			RequestID string `json:"request_id"`
+			Route     string `json:"route"`
+		}
+		if json.Unmarshal([]byte(line), &entry) == nil && entry.Msg == "request" {
+			ids = append(ids, entry.RequestID)
+			if entry.Route != "healthz" {
+				t.Errorf("logged route = %q, want healthz", entry.Route)
+			}
+		}
+	}
+	if len(ids) != 3 {
+		t.Fatalf("logged %d request lines, want 3:\n%s", len(ids), logBuf.String())
+	}
+	if ids[0] != "trace-me-42" {
+		t.Errorf("logged ID = %q, want trace-me-42", ids[0])
+	}
+	if ids[1] != generated {
+		t.Errorf("logged ID %q != echoed header %q", ids[1], generated)
+	}
+}

@@ -1,0 +1,51 @@
+package telemetry
+
+import "testing"
+
+// BenchmarkTelemetryOverhead measures the instrumented ("on") vs no-op
+// ("off", nil metrics) cost of the hot-path operations server code
+// performs per request. cmd/benchjson pairs the off/ and on/ prefixes
+// into BENCH_telemetry.json so the overhead factor is tracked in CI.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	run := func(name string, c *Counter, h *Histogram) {
+		b.Run(name+"/counter", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c.Inc()
+			}
+		})
+		b.Run(name+"/histogram", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				h.Observe(0.012)
+			}
+		})
+		b.Run(name+"/counter_histogram", func(b *testing.B) {
+			// One request's worth of hot-path telemetry: a count and a
+			// latency observation.
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c.Inc()
+				h.Observe(0.012)
+			}
+		})
+	}
+
+	r := NewRegistry()
+	run("on", r.Counter("bench_total", ""), r.Histogram("bench_seconds", "", nil))
+	var nilReg *Registry
+	run("off", nilReg.Counter("bench_total", ""), nilReg.Histogram("bench_seconds", "", nil))
+}
+
+// BenchmarkVecLookup measures the labeled fast path: sync.Map load on
+// an existing child.
+func BenchmarkVecLookup(b *testing.B) {
+	r := NewRegistry()
+	v := r.CounterVec("bench_vec_total", "", "route", "class")
+	v.With("synthesize", "2xx").Inc() // pre-create
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.With("synthesize", "2xx").Inc()
+	}
+}

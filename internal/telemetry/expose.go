@@ -1,0 +1,227 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteText renders every registered family in Prometheus text
+// exposition format (version 0.0.4): families sorted by name, children
+// sorted by label values, histograms as cumulative le-bucket series
+// plus _sum and _count. Deterministic for deterministic metric values,
+// which the golden test relies on.
+func (r *Registry) WriteText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	for _, f := range r.families() {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		if f.kind == kindGaugeFunc {
+			if _, err := fmt.Fprintf(w, "%s %s\n", f.name, formatValue(f.fn())); err != nil {
+				return err
+			}
+			continue
+		}
+		for _, key := range f.childKeys() {
+			m, _ := f.children.Load(key)
+			labels := labelString(f.labels, key)
+			switch f.kind {
+			case kindCounter:
+				if _, err := fmt.Fprintf(w, "%s%s %s\n", f.name, labels, formatValue(m.(*Counter).Value())); err != nil {
+					return err
+				}
+			case kindGauge:
+				if _, err := fmt.Fprintf(w, "%s%s %s\n", f.name, labels, formatValue(m.(*Gauge).Value())); err != nil {
+					return err
+				}
+			case kindHistogram:
+				if err := writeHistogram(w, f, key, m.(*Histogram)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// childKeys returns the family's child keys sorted, so exposition order
+// is stable across scrapes.
+func (f *family) childKeys() []string {
+	var keys []string
+	f.children.Range(func(k, _ any) bool {
+		keys = append(keys, k.(string))
+		return true
+	})
+	sort.Strings(keys)
+	return keys
+}
+
+func writeHistogram(w io.Writer, f *family, key string, h *Histogram) error {
+	cum, count, sum := h.snapshot()
+	values := splitKey(key)
+	for i, bound := range f.bounds {
+		labels := labelString(append(f.labels, "le"), strings.Join(append(values, formatValue(bound)), labelSep))
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, labels, cum[i]); err != nil {
+			return err
+		}
+	}
+	labels := labelString(append(f.labels, "le"), strings.Join(append(values, "+Inf"), labelSep))
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, labels, count); err != nil {
+		return err
+	}
+	base := labelString(f.labels, key)
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, base, formatValue(sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, base, count)
+	return err
+}
+
+// splitKey recovers the label values from a child key; an unlabeled
+// child ("" key with no labels) yields nil.
+func splitKey(key string) []string {
+	if key == "" {
+		return nil
+	}
+	return strings.Split(key, labelSep)
+}
+
+// labelString renders {name="value",...}; empty when there are no
+// labels.
+func labelString(names []string, key string) string {
+	if len(names) == 0 {
+		return ""
+	}
+	values := splitKey(key)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		v := ""
+		if i < len(values) {
+			v = values[i]
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(v))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// formatValue renders a sample value the way Prometheus expects:
+// shortest round-trip representation, integers without a decimal point.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler serves the registry in Prometheus text format — mount it at
+// GET /metrics. A nil registry serves an empty (valid) exposition.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteText(w)
+	})
+}
+
+// Snapshot returns the registry as a nested map — family name to value
+// (scalar), label-set string to value (labeled families), or histogram
+// summary — the expvar-bridge view of the metrics.
+func (r *Registry) Snapshot() map[string]any {
+	out := map[string]any{}
+	if r == nil {
+		return out
+	}
+	for _, f := range r.families() {
+		if f.kind == kindGaugeFunc {
+			out[f.name] = f.fn()
+			continue
+		}
+		children := map[string]any{}
+		for _, key := range f.childKeys() {
+			m, _ := f.children.Load(key)
+			label := strings.Join(splitKey(key), ",")
+			switch f.kind {
+			case kindCounter:
+				children[label] = m.(*Counter).Value()
+			case kindGauge:
+				children[label] = m.(*Gauge).Value()
+			case kindHistogram:
+				h := m.(*Histogram)
+				children[label] = map[string]any{"count": h.Count(), "sum": h.Sum()}
+			}
+		}
+		if len(f.labels) == 0 {
+			// Unlabeled family: flatten the single child.
+			out[f.name] = children[""]
+		} else {
+			out[f.name] = children
+		}
+	}
+	return out
+}
+
+// ExpvarHandler serves the standard expvar JSON document (every
+// variable published in the process: memstats, cmdline, ...) with the
+// registry's Snapshot merged in under "privbayes_metrics". It exists so
+// the daemon can expose expvar without expvar.Publish — Publish panics
+// on duplicate names, which would make the server unconstructable twice
+// in one test process.
+func ExpvarHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		fmt.Fprintf(w, "{\n")
+		first := true
+		expvar.Do(func(kv expvar.KeyValue) {
+			if !first {
+				fmt.Fprintf(w, ",\n")
+			}
+			first = false
+			fmt.Fprintf(w, "%q: %s", kv.Key, kv.Value)
+		})
+		if !first {
+			fmt.Fprintf(w, ",\n")
+		}
+		fmt.Fprintf(w, "%q: ", "privbayes_metrics")
+		writeJSONValue(w, r.Snapshot())
+		fmt.Fprintf(w, "\n}\n")
+	})
+}
+
+// writeJSONValue marshals v with sorted keys (maps marshal with sorted
+// keys by encoding/json's spec).
+func writeJSONValue(w io.Writer, v any) {
+	enc, err := json.Marshal(v)
+	if err != nil {
+		io.WriteString(w, "null")
+		return
+	}
+	w.Write(enc)
+}

@@ -1,0 +1,89 @@
+package telemetry
+
+import (
+	"context"
+	cryptorand "crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"log/slog"
+	"regexp"
+)
+
+// NewLogger builds the system's structured logger: format is "text" or
+// "json" (the -log-format flag), level one of "debug", "info", "warn",
+// "error" (the -log-level flag). Every daemon log line flows through a
+// logger built here, so tests inject a buffer for w and assert on the
+// output.
+func NewLogger(w io.Writer, format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch level {
+	case "", "info":
+		lvl = slog.LevelInfo
+	case "debug":
+		lvl = slog.LevelDebug
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("telemetry: unknown log level %q (want debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("telemetry: unknown log format %q (want text or json)", format)
+	}
+}
+
+// NopLogger returns a logger that discards everything — the default
+// when no logger is configured, so call sites never nil-check.
+func NopLogger() *slog.Logger { return slog.New(slog.DiscardHandler) }
+
+// RequestIDHeader is the wire name of the per-request correlation ID:
+// accepted from clients, echoed on every response, attached to every
+// log line the request produces.
+const RequestIDHeader = "X-Privbayes-Request-Id"
+
+// requestIDKey is the context key for the request ID.
+type requestIDKey struct{}
+
+// requestIDPattern bounds what the server accepts from clients: IDs are
+// logged and echoed verbatim, so they must be short and shell-safe.
+var requestIDPattern = regexp.MustCompile(`^[A-Za-z0-9._-]{1,64}$`)
+
+// ValidRequestID reports whether a client-supplied request ID is
+// acceptable; invalid ones are replaced, never rejected — correlation
+// is best-effort.
+func ValidRequestID(id string) bool { return requestIDPattern.MatchString(id) }
+
+// WithRequestID returns ctx carrying the request ID, so every layer a
+// request flows through — handlers, the fit pipeline, refund paths —
+// can stamp its logs with the same correlation ID.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestID returns the request ID carried by ctx, or "" when the
+// context is not part of an HTTP request.
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// NewRequestID draws a fresh 16-hex-char request ID. It reads
+// crypto/rand, never math/rand: request IDs must not perturb any seeded
+// RNG stream (the determinism contract) and need no reproducibility.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := cryptorand.Read(b[:]); err != nil {
+		// Out of entropy is not a reason to fail a request; a fixed
+		// fallback still logs, it just stops correlating.
+		return "req-unknown"
+	}
+	return hex.EncodeToString(b[:])
+}

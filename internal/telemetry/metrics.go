@@ -1,0 +1,405 @@
+// Package telemetry is the zero-dependency observability core shared
+// by every layer of the system: a metrics registry (atomic counters,
+// gauges and fixed-bucket histograms, with labeled families) exposed in
+// Prometheus text format and over an expvar bridge, structured logging
+// on log/slog, and per-request IDs propagated through context.
+//
+// Design constraints, in order:
+//
+//   - Hot paths are lock-free. Counter.Add, Gauge.Set and
+//     Histogram.Observe are a handful of atomic operations; the only
+//     mutex in the package guards metric *registration*, which happens
+//     once at startup. Vec lookups hit a sync.Map fast path.
+//   - Instrumentation must be safely absent. Every method on every
+//     metric type is a no-op on a nil receiver, and a nil *Registry
+//     hands out nil metrics, so "telemetry off" is the nil registry —
+//     call sites carry no conditionals and the fixed-seed determinism
+//     contract cannot be perturbed by an if-branch nobody tests.
+//   - Metrics never touch RNG streams, goroutine scheduling or work
+//     order: observing a value is a side channel, full stop.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// A Counter accumulates a monotonically non-decreasing value. Add is a
+// lock-free CAS loop so fractional amounts (seconds, ε) compose with
+// plain event counts in one type.
+type Counter struct {
+	bits atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds v, which must be >= 0 (negative deltas are silently
+// dropped — a counter only goes up).
+func (c *Counter) Add(v float64) {
+	if c == nil || v < 0 || math.IsNaN(v) {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if c.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current total.
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return math.Float64frombits(c.bits.Load())
+}
+
+// A Gauge holds a value that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the value (a single atomic store).
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adjusts the value by v (CAS loop; v may be negative).
+func (g *Gauge) Add(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Inc adds 1.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts 1.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// A Histogram counts observations into fixed buckets. Buckets are
+// cumulative at exposition time only; the hot path is one atomic add
+// into the matching bucket plus a CAS on the running sum.
+type Histogram struct {
+	bounds []float64 // upper bounds, ascending; +Inf implicit
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	// Bucket search is linear: latency histograms have ~15 bounds and
+	// observations cluster in the low buckets, so this beats binary
+	// search in practice and keeps the path branch-predictable.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	if i < len(h.counts) {
+		h.counts[i].Add(1)
+	}
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// snapshot returns (cumulative bucket counts aligned with bounds
+// + the +Inf bucket, total count, sum).
+func (h *Histogram) snapshot() ([]uint64, uint64, float64) {
+	cum := make([]uint64, len(h.bounds)+1)
+	var run uint64
+	for i := range h.counts {
+		run += h.counts[i].Load()
+		cum[i] = run
+	}
+	return cum, h.count.Load(), h.Sum()
+}
+
+// ExponentialBuckets returns n upper bounds starting at start and
+// multiplying by factor — the standard shape for latency and size
+// histograms. start must be > 0 and factor > 1.
+func ExponentialBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("telemetry: ExponentialBuckets needs start > 0, factor > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start
+		start *= factor
+	}
+	return out
+}
+
+// DefLatencyBuckets covers 500µs to ~4 minutes — request handling,
+// pipeline phases, fsyncs all fit.
+func DefLatencyBuckets() []float64 {
+	return []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+		0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 240}
+}
+
+// metricKind discriminates exposition rendering.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge, kindGaugeFunc:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// labelSep joins label values into child-map keys. It cannot appear in
+// metric label values (it is stripped on the way in).
+const labelSep = "\xff"
+
+// family is one named metric with zero or more label dimensions.
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	labels []string
+	bounds []float64      // histograms only
+	fn     func() float64 // gauge funcs only
+
+	children sync.Map // labelSep-joined values -> metric pointer
+	mu       sync.Mutex
+}
+
+// child returns the metric for the given label values, creating it on
+// first use.
+func (f *family) child(values []string) any {
+	key := strings.Join(values, labelSep)
+	if m, ok := f.children.Load(key); ok {
+		return m
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if m, ok := f.children.Load(key); ok {
+		return m
+	}
+	var m any
+	switch f.kind {
+	case kindCounter:
+		m = &Counter{}
+	case kindGauge:
+		m = &Gauge{}
+	case kindHistogram:
+		m = &Histogram{bounds: f.bounds, counts: make([]atomic.Uint64, len(f.bounds)+1)}
+	}
+	f.children.Store(key, m)
+	return m
+}
+
+// Registry holds metric families and renders them for scraping. The
+// zero value is not usable; call NewRegistry. A nil *Registry is the
+// "telemetry off" mode: every constructor returns a nil metric whose
+// methods no-op.
+type Registry struct {
+	mu     sync.Mutex
+	byName map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]*family{}}
+}
+
+// register adds a family, panicking on a duplicate name — two callers
+// claiming one name is a programming error that would silently split
+// or shadow a time series.
+func (r *Registry) register(f *family) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[f.name]; dup {
+		panic(fmt.Sprintf("telemetry: metric %q registered twice", f.name))
+	}
+	r.byName[f.name] = f
+	return f
+}
+
+// Counter registers an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	f := r.register(&family{name: name, help: help, kind: kindCounter})
+	return f.child(nil).(*Counter)
+}
+
+// Gauge registers an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	f := r.register(&family{name: name, help: help, kind: kindGauge})
+	return f.child(nil).(*Gauge)
+}
+
+// GaugeFunc registers a gauge whose value is computed at scrape time —
+// for values another layer already maintains (queue depth, registry
+// size). fn must be safe to call from any goroutine.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.register(&family{name: name, help: help, kind: kindGaugeFunc, fn: fn})
+}
+
+// Histogram registers an unlabeled histogram with the given ascending
+// bucket upper bounds (nil selects DefLatencyBuckets).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if bounds == nil {
+		bounds = DefLatencyBuckets()
+	}
+	f := r.register(&family{name: name, help: help, kind: kindHistogram, bounds: bounds})
+	return f.child(nil).(*Histogram)
+}
+
+// CounterVec is a counter family with label dimensions.
+type CounterVec struct{ f *family }
+
+// CounterVec registers a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	return &CounterVec{f: r.register(&family{name: name, help: help, kind: kindCounter, labels: labels})}
+}
+
+// With returns the counter for the given label values (one per label
+// dimension, in registration order).
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	return v.f.child(clean(values)).(*Counter)
+}
+
+// GaugeVec is a gauge family with label dimensions.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	return &GaugeVec{f: r.register(&family{name: name, help: help, kind: kindGauge, labels: labels})}
+}
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	return v.f.child(clean(values)).(*Gauge)
+}
+
+// HistogramVec is a histogram family with label dimensions.
+type HistogramVec struct{ f *family }
+
+// HistogramVec registers a labeled histogram family (nil bounds select
+// DefLatencyBuckets).
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	if bounds == nil {
+		bounds = DefLatencyBuckets()
+	}
+	return &HistogramVec{f: r.register(&family{name: name, help: help, kind: kindHistogram, bounds: bounds, labels: labels})}
+}
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	return v.f.child(clean(values)).(*Histogram)
+}
+
+// clean strips the internal separator from label values so a hostile
+// value cannot forge another child's key.
+func clean(values []string) []string {
+	for i, v := range values {
+		if strings.Contains(v, labelSep) {
+			values[i] = strings.ReplaceAll(v, labelSep, "")
+		}
+	}
+	return values
+}
+
+// families returns the registered families sorted by name.
+func (r *Registry) families() []*family {
+	r.mu.Lock()
+	out := make([]*family, 0, len(r.byName))
+	for _, f := range r.byName {
+		out = append(out, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}

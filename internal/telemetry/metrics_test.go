@@ -1,0 +1,266 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(2.5)
+	c.Add(-1) // dropped: counters only go up
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter = %g, want 3.5", got)
+	}
+	g := r.Gauge("g", "a gauge")
+	g.Set(10)
+	g.Add(-3)
+	g.Inc()
+	g.Dec()
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %g, want 7", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "a histogram", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	cum, count, sum := h.snapshot()
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+	if sum != 106 {
+		t.Fatalf("sum = %g, want 106", sum)
+	}
+	// le=1: {0.5, 1}; le=2: +{1.5}; le=4: +{3}; +Inf child holds {100}.
+	want := []uint64{2, 3, 4, 5}
+	for i, w := range want[:3] {
+		if cum[i] != w {
+			t.Fatalf("cum[%d] = %d, want %d", i, cum[i], w)
+		}
+	}
+}
+
+// TestNilRegistryNoops pins the "telemetry off" contract: a nil
+// registry hands out nil metrics and every operation on them — and on
+// the registry itself — is a safe no-op. Server code relies on this to
+// run the identical instrumented code path with telemetry disabled.
+func TestNilRegistryNoops(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x", "")
+	c.Inc()
+	c.Add(1)
+	_ = c.Value()
+	g := r.Gauge("x", "")
+	g.Set(1)
+	g.Add(1)
+	h := r.Histogram("x", "", nil)
+	h.Observe(1)
+	r.GaugeFunc("x", "", func() float64 { return 1 })
+	cv := r.CounterVec("x", "", "l")
+	cv.With("v").Inc()
+	gv := r.GaugeVec("x", "", "l")
+	gv.With("v").Set(1)
+	hv := r.HistogramVec("x", "", nil, "l")
+	hv.With("v").Observe(1)
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil registry WriteText = (%q, %v), want empty", buf.String(), err)
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second registration of dup_total did not panic")
+		}
+	}()
+	r.Counter("dup_total", "")
+}
+
+// TestConcurrentHammering drives counters, gauges, vec children and
+// histograms from many goroutines; run under -race it proves the hot
+// paths are data-race-free, and the totals prove no increment is lost.
+func TestConcurrentHammering(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hammer_total", "")
+	g := r.Gauge("hammer_gauge", "")
+	h := r.Histogram("hammer_hist", "", []float64{0.25, 0.5, 0.75})
+	cv := r.CounterVec("hammer_vec_total", "", "worker")
+	const workers, perWorker = 16, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lbl := string(rune('a' + w%4))
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%100) / 100)
+				cv.With(lbl).Inc()
+			}
+		}(w)
+	}
+	wg.Wait()
+	const total = workers * perWorker
+	if got := c.Value(); got != total {
+		t.Fatalf("counter = %g, want %d", got, total)
+	}
+	if got := g.Value(); got != total {
+		t.Fatalf("gauge = %g, want %d", got, total)
+	}
+	if got := h.Count(); got != total {
+		t.Fatalf("histogram count = %d, want %d", got, total)
+	}
+	var vecTotal float64
+	for _, lbl := range []string{"a", "b", "c", "d"} {
+		vecTotal += cv.With(lbl).Value()
+	}
+	if vecTotal != total {
+		t.Fatalf("vec total = %g, want %d", vecTotal, total)
+	}
+}
+
+// TestWriteTextGolden pins the Prometheus text exposition byte for
+// byte: family ordering, label rendering, histogram bucket cumulation,
+// gauge funcs.
+func TestWriteTextGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.CounterVec("privbayes_requests_total", "HTTP requests.", "route", "class")
+	c.With("synthesize", "2xx").Add(3)
+	c.With("fit", "4xx").Inc()
+	g := r.Gauge("privbayes_in_flight", "In-flight requests.")
+	g.Set(2)
+	r.GaugeFunc("privbayes_queue_depth", "Queued requests.", func() float64 { return 7 })
+	h := r.Histogram("privbayes_latency_seconds", "Request latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(30)
+
+	const want = `# HELP privbayes_in_flight In-flight requests.
+# TYPE privbayes_in_flight gauge
+privbayes_in_flight 2
+# HELP privbayes_latency_seconds Request latency.
+# TYPE privbayes_latency_seconds histogram
+privbayes_latency_seconds_bucket{le="0.1"} 1
+privbayes_latency_seconds_bucket{le="1"} 2
+privbayes_latency_seconds_bucket{le="+Inf"} 3
+privbayes_latency_seconds_sum 30.55
+privbayes_latency_seconds_count 3
+# HELP privbayes_queue_depth Queued requests.
+# TYPE privbayes_queue_depth gauge
+privbayes_queue_depth 7
+# HELP privbayes_requests_total HTTP requests.
+# TYPE privbayes_requests_total counter
+privbayes_requests_total{route="fit",class="4xx"} 1
+privbayes_requests_total{route="synthesize",class="2xx"} 3
+`
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestHandlerAndExpvarBridge(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("bridge_total", "x").Add(4)
+	r.Histogram("bridge_hist", "", []float64{1}).Observe(0.5)
+
+	rw := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rw, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rw.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	if !strings.Contains(rw.Body.String(), "bridge_total 4") {
+		t.Fatalf("exposition missing counter:\n%s", rw.Body.String())
+	}
+
+	rw = httptest.NewRecorder()
+	ExpvarHandler(r).ServeHTTP(rw, httptest.NewRequest("GET", "/debug/vars", nil))
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(rw.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("expvar bridge is not valid JSON: %v\n%s", err, rw.Body.String())
+	}
+	if _, ok := doc["memstats"]; !ok {
+		t.Fatal("expvar bridge lost the standard memstats var")
+	}
+	var metrics map[string]any
+	if err := json.Unmarshal(doc["privbayes_metrics"], &metrics); err != nil {
+		t.Fatalf("privbayes_metrics: %v", err)
+	}
+	if got := metrics["bridge_total"]; got != 4.0 {
+		t.Fatalf("bridge_total via expvar = %v, want 4", got)
+	}
+}
+
+func TestRequestIDs(t *testing.T) {
+	id := NewRequestID()
+	if !ValidRequestID(id) {
+		t.Fatalf("generated request ID %q is not valid by our own rule", id)
+	}
+	if id2 := NewRequestID(); id2 == id {
+		t.Fatalf("two generated request IDs collide: %q", id)
+	}
+	for _, bad := range []string{"", "has space", strings.Repeat("x", 65), "semi;colon"} {
+		if ValidRequestID(bad) {
+			t.Fatalf("ValidRequestID(%q) = true", bad)
+		}
+	}
+	ctx := WithRequestID(context.Background(), id)
+	if got := RequestID(ctx); got != id {
+		t.Fatalf("RequestID round-trip = %q, want %q", got, id)
+	}
+	if got := RequestID(context.Background()); got != "" {
+		t.Fatalf("RequestID on bare context = %q, want empty", got)
+	}
+}
+
+func TestNewLogger(t *testing.T) {
+	var buf bytes.Buffer
+	log, err := NewLogger(&buf, "json", "warn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Info("dropped")
+	log.Warn("kept", "k", "v")
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("log output is not one JSON record: %v\n%s", err, buf.String())
+	}
+	if rec["msg"] != "kept" || rec["k"] != "v" {
+		t.Fatalf("unexpected record: %v", rec)
+	}
+	if _, err := NewLogger(&buf, "xml", "info"); err == nil {
+		t.Fatal("bad format accepted")
+	}
+	if _, err := NewLogger(&buf, "text", "loud"); err == nil {
+		t.Fatal("bad level accepted")
+	}
+}
+
+func TestExponentialBuckets(t *testing.T) {
+	got := ExponentialBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("bucket[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}

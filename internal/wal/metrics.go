@@ -1,0 +1,62 @@
+package wal
+
+import (
+	"privbayes/internal/telemetry"
+)
+
+// Metrics is the WAL's instrumentation surface. A nil *Metrics (and
+// any metrics built from a nil registry) disables instrumentation with
+// no behavioral difference: the log never changes what it writes, syncs
+// or recovers based on whether it is observed.
+type Metrics struct {
+	appends        *telemetry.Counter
+	appendBytes    *telemetry.Counter
+	fsyncSeconds   *telemetry.Histogram
+	compactions    *telemetry.Counter
+	compactSeconds *telemetry.Histogram
+	sizeBytes      *telemetry.Gauge
+	recoveries     *telemetry.Counter
+	recoveredBytes *telemetry.Counter
+}
+
+// NewMetrics registers the WAL metric families on r. Returns nil for a
+// nil registry — the "telemetry off" mode.
+func NewMetrics(r *telemetry.Registry) *Metrics {
+	if r == nil {
+		return nil
+	}
+	return &Metrics{
+		appends: r.Counter("privbayes_wal_appends_total",
+			"WAL records appended; each one is fsync'd before being acknowledged."),
+		appendBytes: r.Counter("privbayes_wal_append_bytes_total",
+			"Bytes appended to the WAL, record headers included."),
+		fsyncSeconds: r.Histogram("privbayes_wal_fsync_duration_seconds",
+			"Latency of one durable append (write plus fsync).", nil),
+		compactions: r.Counter("privbayes_wal_compactions_total",
+			"WAL compactions into a single checkpoint record."),
+		compactSeconds: r.Histogram("privbayes_wal_compaction_duration_seconds",
+			"Latency of one WAL compaction (write, fsync, rename, dir fsync).", nil),
+		sizeBytes: r.Gauge("privbayes_wal_size_bytes",
+			"Current WAL file size in bytes, magic header included."),
+		recoveries: r.Counter("privbayes_wal_torn_tail_recoveries_total",
+			"Recoveries that truncated a torn tail or (under fsck) a corrupt suffix."),
+		recoveredBytes: r.Counter("privbayes_wal_recovery_truncated_bytes_total",
+			"Bytes dropped by recovery truncation."),
+	}
+}
+
+// Instrument attaches metrics to the log and records the recovery
+// outcome of the Open that produced it. Call once, before the log is
+// shared; a nil m turns instrumentation off. Append is serialized by
+// the owning layer, so the field needs no lock.
+func (l *Log) Instrument(m *Metrics) {
+	l.m = m
+	if m == nil {
+		return
+	}
+	m.sizeBytes.Set(float64(l.size))
+	if l.truncated > 0 {
+		m.recoveries.Inc()
+		m.recoveredBytes.Add(float64(l.truncated))
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"time"
 
 	"privbayes/internal/faultfs"
 )
@@ -87,6 +88,8 @@ type Log struct {
 	// truncated reports bytes dropped during recovery: a torn tail
 	// (normal after a crash) or, under Fsck, a corrupt suffix.
 	truncated int64
+	// m instruments appends and compactions; nil means uninstrumented.
+	m *Metrics
 }
 
 // Open recovers the log at path, calling replay for every intact record
@@ -247,11 +250,21 @@ func (l *Log) Append(payload []byte) error {
 	binary.LittleEndian.PutUint32(buf, uint32(len(payload)))
 	binary.LittleEndian.PutUint32(buf[4:], crc32.Checksum(payload, castagnoli))
 	copy(buf[headerLen:], payload)
+	var start time.Time
+	if l.m != nil {
+		start = time.Now()
+	}
 	if err := writeAndSyncAll(l.f, buf); err != nil {
 		return fmt.Errorf("wal: append to %s: %w", l.path, err)
 	}
 	l.size += int64(len(buf))
 	l.records++
+	if l.m != nil {
+		l.m.fsyncSeconds.Observe(time.Since(start).Seconds())
+		l.m.appends.Inc()
+		l.m.appendBytes.Add(float64(len(buf)))
+		l.m.sizeBytes.Set(float64(l.size))
+	}
 	return nil
 }
 
@@ -265,6 +278,10 @@ func (l *Log) Compact(checkpoint []byte) error {
 	}
 	if len(checkpoint) == 0 || len(checkpoint) > MaxRecordLen {
 		return fmt.Errorf("wal: invalid checkpoint size %d", len(checkpoint))
+	}
+	var start time.Time
+	if l.m != nil {
+		start = time.Now()
 	}
 	dir := filepath.Dir(l.path)
 	tmp, err := l.fs.CreateTemp(dir, ".wal-compact-*")
@@ -305,6 +322,11 @@ func (l *Log) Compact(checkpoint []byte) error {
 	l.f = f
 	l.size = int64(len(buf))
 	l.records = 1
+	if l.m != nil {
+		l.m.compactSeconds.Observe(time.Since(start).Seconds())
+		l.m.compactions.Inc()
+		l.m.sizeBytes.Set(float64(l.size))
+	}
 	return nil
 }
 
