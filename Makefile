@@ -66,6 +66,11 @@ bench-json:
 	$(GO) run ./cmd/benchjson -in bench_telemetry.out > BENCH_telemetry.json
 	@rm -f bench_telemetry.out
 	@cat BENCH_telemetry.json
+	$(GO) test -run NONE -bench 'BenchmarkCuratorIngest|BenchmarkFit(InMemory|Scanner)|BenchmarkRefit(Cold|Incremental)' \
+		-benchtime 1s ./internal/curator > bench_curator.out
+	$(GO) run ./cmd/benchjson -in bench_curator.out > BENCH_curator.json
+	@rm -f bench_curator.out
+	@cat BENCH_curator.json
 
 # Statistical quality sweep and regression gate: fits every ground-truth
 # scenario at ε ∈ {0.1, 1, 10}, writes BENCH_quality.json (2-way/3-way
@@ -77,17 +82,22 @@ quality:
 	@cat BENCH_quality.json
 
 # Native fuzzing smoke over the untrusted-input parsers: model artifacts
-# (core.ReadModelJSON, behind LoadModel) and CSV uploads
-# (dataset.ReadCSV). FUZZTIME bounds each target; the nightly workflow
-# runs with a larger budget.
+# (core.ReadModelJSON, behind LoadModel), CSV uploads (dataset.ReadCSV),
+# JSONL row appends (dataset.ScanJSONL) and the curator's on-disk row
+# record codec. FUZZTIME bounds each target; the nightly workflow runs
+# with a larger budget.
 fuzz:
 	$(GO) test -run NONE -fuzz 'FuzzReadModelJSON$$' -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run NONE -fuzz 'FuzzReadCSV$$' -fuzztime $(FUZZTIME) ./internal/dataset
+	$(GO) test -run NONE -fuzz 'FuzzScanJSONL$$' -fuzztime $(FUZZTIME) ./internal/dataset
+	$(GO) test -run NONE -fuzz 'FuzzAppendRows$$' -fuzztime $(FUZZTIME) ./internal/curator
 
-# Crash-loop harness over the real binary: kill -9 privbayesd at 24
-# points spread across a curator fit, restart over the same state dir,
-# and verify no ε charge is lost or double-spent and the retried
-# idempotent fit charges exactly once. Deterministic per-filesystem-op
+# Crash-loop harness over the real binary: kill -9 privbayesd at points
+# spread across a curator fit and across the continuous-curation
+# lifecycle (row appends + automatic refit), restart over the same
+# state dir, and verify no acknowledged append or ε charge is lost,
+# nothing double-spends or double-ingests, and the retried idempotent
+# fit charges exactly once. Deterministic per-filesystem-op
 # crash sweeps live in `go test ./internal/wal ./internal/accountant`;
 # this target is the real-process tier-2 gate. CRASHSAFETY_DIR, when
 # set, keeps every iteration's state directory for post-mortem.

@@ -24,6 +24,7 @@ import (
 	"bufio"
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"os"
@@ -259,6 +260,249 @@ func TestCrashLoopLedgerNeverLosesOrDoubleSpends(t *testing.T) {
 			}
 			if strings.Contains(meta.ID, "/") {
 				t.Fatalf("unsafe model id %q", meta.ID)
+			}
+		})
+	}
+}
+
+// curatorBatchJSONL renders rows [lo, lo+n) of the deterministic crash
+// corpus as a JSONL append payload over binary attributes.
+func curatorBatchJSONL(attrs []dataset.Attribute, lo, n int) []byte {
+	var buf bytes.Buffer
+	for i := lo; i < lo+n; i++ {
+		buf.WriteByte('{')
+		for c := range attrs {
+			if c > 0 {
+				buf.WriteByte(',')
+			}
+			fmt.Fprintf(&buf, "%q:\"%d\"", attrs[c].Name, (i*(c+3)+c*i/7+i/11)%2)
+		}
+		buf.WriteString("}\n")
+	}
+	return buf.Bytes()
+}
+
+// TestCrashLoopCuratorIngestAndRefit sweeps kill -9 across the whole
+// continuous-curation lifecycle — dataset create, a sequence of
+// POST /datasets/{id}/rows appends, and the automatic budget-metered
+// refit the final append triggers — and checks the curator's
+// crash-safety contract at every point:
+//
+//   - acknowledged appends survive the crash (the recovered row count is
+//     at least the last TotalRows the client saw acknowledged);
+//   - unacknowledged appends never double-ingest: replaying every batch
+//     key after restart lands on exactly the full corpus, never more;
+//   - the refit's ε spend is exactly 0 or exactly ε at every crash
+//     point — a kill between the ledger charge and the model publish
+//     can neither lose the charge nor charge again on recovery;
+//   - recovery converges: after restart (plus idempotent replays) the
+//     dataset republishes its refit model and serves synthesis from it.
+func TestCrashLoopCuratorIngestAndRefit(t *testing.T) {
+	if os.Getenv("PRIVBAYES_CRASHSAFETY") == "" {
+		t.Skip("tier-2 crash-loop harness; set PRIVBAYES_CRASHSAFETY=1 (or run `make crashsafety`)")
+	}
+	bin := buildBinary(t)
+	const (
+		eps         = 0.4
+		batchRows   = 500
+		batches     = 4
+		totalRows   = batchRows * batches
+		curatorKill = 16 // kill points swept across the lifecycle
+	)
+
+	attrs := make([]dataset.Attribute, 10)
+	for i := range attrs {
+		attrs[i] = dataset.NewCategorical(fmt.Sprintf("a%d", i), []string{"0", "1"})
+	}
+	schema := server.SpecsFromAttrs(attrs)
+	payload := make([][]byte, batches)
+	for b := range payload {
+		payload[b] = curatorBatchJSONL(attrs, b*batchRows, batchRows)
+	}
+	wantModel := fmt.Sprintf("survey-refit-%d", totalRows)
+
+	workdir := func(t *testing.T, point int) string {
+		if root := os.Getenv("PRIVBAYES_CRASHSAFETY_DIR"); root != "" {
+			dir := filepath.Join(root, fmt.Sprintf("curator-point-%02d", point))
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			return dir
+		}
+		return t.TempDir()
+	}
+	daemonArgs := func(dir string) []string {
+		return []string{
+			"-models-dir", filepath.Join(dir, "models"),
+			"-ledger", filepath.Join(dir, "ledger.wal"),
+			"-curator-dir", filepath.Join(dir, "curator"),
+			"-budget", "1.0",
+			"-refit-epsilon", fmt.Sprintf("%g", eps),
+			"-refit-rows", fmt.Sprintf("%d", totalRows),
+		}
+	}
+	// ingest drives the full client side of the lifecycle; acked tracks
+	// the highest TotalRows the server has acknowledged, the durability
+	// watermark the crash must not roll back.
+	ingest := func(ctx context.Context, base string, acked *int64) error {
+		c := server.NewClient(base)
+		if _, err := c.CreateDataset(ctx, "survey", schema); err != nil {
+			var ae *server.APIError
+			if !(errors.As(err, &ae) && ae.StatusCode == 409) {
+				return err
+			}
+		}
+		for b := 0; b < batches; b++ {
+			res, err := c.AppendRows(ctx, "survey",
+				fmt.Sprintf("batch-%02d", b), bytes.NewReader(payload[b]))
+			if err != nil {
+				return err
+			}
+			if acked != nil && res.TotalRows > *acked {
+				*acked = res.TotalRows
+			}
+		}
+		return nil
+	}
+	waitModel := func(ctx context.Context, c *server.Client) (server.ModelMeta, error) {
+		deadline := time.Now().Add(2 * time.Minute)
+		for time.Now().Before(deadline) {
+			st, err := c.DatasetStatus(ctx, "survey")
+			if err != nil {
+				return server.ModelMeta{}, err
+			}
+			if st.ModelID == wantModel && !st.Refitting {
+				return c.Model(ctx, wantModel)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		return server.ModelMeta{}, fmt.Errorf("timed out waiting for %s", wantModel)
+	}
+
+	// Calibrate an uninterrupted run: ingest + triggered refit to
+	// publish. The sweep spreads kills over 1.2x that window so early
+	// points land in appends and late points land mid-refit.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Minute)
+	defer cancel()
+	calDir := workdir(t, 0)
+	calCmd, calBase := launchDaemon(t, bin, daemonArgs(calDir)...)
+	start := time.Now()
+	if err := ingest(ctx, calBase, nil); err != nil {
+		t.Fatalf("calibration ingest: %v", err)
+	}
+	if _, err := waitModel(ctx, server.NewClient(calBase)); err != nil {
+		t.Fatalf("calibration refit: %v", err)
+	}
+	lifecycle := time.Since(start)
+	kill9(calCmd)
+	t.Logf("calibration lifecycle took %v; sweeping %d kill points", lifecycle, curatorKill)
+
+	for point := 1; point <= curatorKill; point++ {
+		t.Run(fmt.Sprintf("curator-kill-point-%02d", point), func(t *testing.T) {
+			dir := workdir(t, point)
+			cmd, base := launchDaemon(t, bin, daemonArgs(dir)...)
+
+			var acked int64
+			ingestDone := make(chan error, 1)
+			go func() { ingestDone <- ingest(ctx, base, &acked) }()
+			delay := time.Duration(int64(point-1) * int64(lifecycle) * 12 / (10 * int64(curatorKill-1)))
+			time.Sleep(delay)
+			kill9(cmd)
+			firstErr := <-ingestDone
+
+			// Restart over the crashed state: torn row-log and ledger
+			// tails must recover, never refuse startup.
+			cmd2, base2 := launchDaemon(t, bin, daemonArgs(dir)...)
+			defer kill9(cmd2)
+			c2 := server.NewClient(base2)
+
+			// Invariant 1: every acknowledged append survived, and the
+			// log never holds more than the corpus.
+			st, err := c2.DatasetStatus(ctx, "survey")
+			if err != nil {
+				var ae *server.APIError
+				if !(errors.As(err, &ae) && ae.StatusCode == 404 && acked == 0) {
+					t.Fatalf("status after restart: %v (acked=%d)", err, acked)
+				}
+			} else {
+				if st.Rows < acked {
+					t.Fatalf("recovered %d rows < %d acknowledged (first err: %v)", st.Rows, acked, firstErr)
+				}
+				if st.Rows > totalRows {
+					t.Fatalf("recovered %d rows > %d ever sent", st.Rows, totalRows)
+				}
+			}
+
+			// Invariant 2: the refit charge is exactly 0 or exactly ε.
+			budget, err := c2.Budget(ctx)
+			if err != nil {
+				t.Fatalf("budget after restart: %v", err)
+			}
+			if spent := budget["survey"].Spent; !(spent == 0 || math.Abs(spent-eps) < 1e-9) {
+				t.Fatalf("recovered spend %g, want exactly 0 or %g", spent, eps)
+			}
+
+			// Invariant 3: idempotent replays converge on exactly the
+			// corpus — no batch ingests twice.
+			if err := ingest(ctx, base2, nil); err != nil {
+				t.Fatalf("idempotent replay after crash: %v", err)
+			}
+			st, err = c2.DatasetStatus(ctx, "survey")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Rows != totalRows {
+				t.Fatalf("rows after replay = %d, want exactly %d", st.Rows, totalRows)
+			}
+
+			// Invariant 4: recovery republishes the refit model with
+			// exactly one ε charge, and it serves.
+			meta, err := waitModel(ctx, c2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(meta.Epsilon-eps) > 1e-9 {
+				t.Fatalf("refit model ε = %g, want %g", meta.Epsilon, eps)
+			}
+			budget, err = c2.Budget(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if spent := budget["survey"].Spent; math.Abs(spent-eps) > 1e-9 {
+				t.Fatalf("spend after recovery = %g, want exactly %g", spent, eps)
+			}
+			seed := int64(9)
+			stream, err := c2.Synthesize(ctx, wantModel, server.SynthesizeRequest{N: 50, Seed: &seed})
+			if err != nil {
+				t.Fatalf("synthesize from recovered refit: %v", err)
+			}
+			sc := bufio.NewScanner(stream.Body)
+			lines := 0
+			for sc.Scan() {
+				lines++
+			}
+			stream.Close()
+			if lines != 51 {
+				t.Fatalf("recovered refit streamed %d lines, want 51", lines)
+			}
+
+			// A third restart proves the recovered state is durable.
+			kill9(cmd2)
+			_, base3 := launchDaemon(t, bin, daemonArgs(dir)...)
+			c3 := server.NewClient(base3)
+			st, err = c3.DatasetStatus(ctx, "survey")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Rows != totalRows || st.ModelID != wantModel {
+				t.Fatalf("final restart status = %+v", st)
+			}
+			budget, err = c3.Budget(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if spent := budget["survey"].Spent; math.Abs(spent-eps) > 1e-9 {
+				t.Fatalf("spend after final restart = %g, want %g", spent, eps)
 			}
 		})
 	}

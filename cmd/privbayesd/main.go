@@ -53,6 +53,11 @@ type options struct {
 	ledgerPath    string
 	ledgerFsck    bool
 	budget        float64
+	curatorDir    string
+	refitEpsilon  float64
+	refitRows     int64
+	refitStale    time.Duration
+	fitChunkRows  int
 	workers       int
 	reqPar        int
 	maxRows       int
@@ -74,6 +79,11 @@ func main() {
 	flag.StringVar(&o.ledgerPath, "ledger", "", "privacy-budget ledger WAL for curator mode (empty = in-memory ledger; legacy JSON ledgers migrate in place)")
 	flag.BoolVar(&o.ledgerFsck, "ledger-fsck", false, "repair a corrupt ledger by truncating it at the first damaged record, then continue startup (records from the damage onward are lost)")
 	flag.Float64Var(&o.budget, "budget", 2.0, "default per-dataset ε budget for curator-mode fits")
+	flag.StringVar(&o.curatorDir, "curator-dir", "", "directory of crash-safe row logs for continuously curated datasets (empty = /datasets endpoints disabled)")
+	flag.Float64Var(&o.refitEpsilon, "refit-epsilon", 0, "ε charged per automatic curator refit (0 = ingest only, no automatic refits)")
+	flag.Int64Var(&o.refitRows, "refit-rows", 0, "refit a curated dataset once this many rows arrive since its last fit (0 = no row trigger)")
+	flag.DurationVar(&o.refitStale, "refit-staleness", 0, "refit a curated dataset once unfitted rows are older than this (0 = no staleness trigger)")
+	flag.IntVar(&o.fitChunkRows, "fit-chunk-rows", 0, "rows per chunk for out-of-core fit scans; bounds fit memory (0 = default 65536)")
 	flag.IntVar(&o.workers, "max-workers", 0, "server-wide sampling/fitting worker budget (0 = all cores)")
 	flag.IntVar(&o.reqPar, "max-request-parallelism", 0, "max workers one request may claim (0 = whole budget)")
 	flag.IntVar(&o.maxRows, "max-rows", server.DefaultMaxSynthesisRows, "max synthetic rows per request")
@@ -138,12 +148,18 @@ func run(o options) error {
 		MaxUploadBytes:        o.maxMB << 20,
 		MaxQueueDepth:         o.maxQueue,
 		MaxFitsPerDataset:     o.maxFits,
+		CuratorDir:            o.curatorDir,
+		RefitEpsilon:          o.refitEpsilon,
+		RefitRows:             o.refitRows,
+		RefitStaleness:        o.refitStale,
+		FitChunkRows:          o.fitChunkRows,
 		Logger:                log,
 		Telemetry:             telemetry.NewRegistry(),
 	})
 	if err != nil {
 		return err
 	}
+	defer srv.Close()
 	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {
 		return err

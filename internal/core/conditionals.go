@@ -37,10 +37,10 @@ import (
 // pairs' joints come from the parent-configuration indexes the final
 // greedy iterations already built (see materializeJoint).
 func NoisyConditionalsBinary(ds *dataset.Dataset, net Network, k int, eps2 float64, noNoise, consistent bool, parallelism int, rng *rand.Rand) ([]*marginal.Conditional, error) {
-	return noisyConditionalsBinary(context.Background(), ds, net, k, eps2, noNoise, consistent, parallelism, rng, nil, nil)
+	return noisyConditionalsBinary(context.Background(), ds, net, k, eps2, noNoise, consistent, parallelism, rng, nil, nil, nil)
 }
 
-func noisyConditionalsBinary(ctx context.Context, ds *dataset.Dataset, net Network, k int, eps2 float64, noNoise, consistent bool, parallelism int, rng *rand.Rand, cache *marginal.IndexCache, progress *progressSink) ([]*marginal.Conditional, error) {
+func noisyConditionalsBinary(ctx context.Context, ds *dataset.Dataset, net Network, k int, eps2 float64, noNoise, consistent bool, parallelism int, rng *rand.Rand, cache *marginal.IndexCache, cs marginal.CountSource, progress *progressSink) ([]*marginal.Conditional, error) {
 	d := len(net.Pairs)
 	conds := make([]*marginal.Conditional, d)
 	if d == 0 {
@@ -52,14 +52,27 @@ func noisyConditionalsBinary(ctx context.Context, ds *dataset.Dataset, net Netwo
 	n := float64(ds.N())
 	scale := 2 * float64(d-k) / (n * eps2)
 
+	if err := prefetchPairCounts(ctx, cs, net.Pairs[k:]); err != nil {
+		return nil, err
+	}
 	progress.start(PhaseMarginals, d-k)
+	jointErrs := make([]error, d-k)
 	joints, err := parallel.MapCtx(ctx, parallel.Workers(parallelism), d-k, func(j int) *marginal.Table {
-		t := materializeJoint(ds, net.Pairs[k+j], parallelism, cache)
+		t, err := materializeJoint(ds, net.Pairs[k+j], parallelism, cache, cs)
+		if err != nil {
+			jointErrs[j] = err
+			return nil
+		}
 		progress.unit(PhaseMarginals, d-k)
 		return t
 	})
 	if err != nil {
 		return nil, err
+	}
+	for _, err := range jointErrs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	for _, joint := range joints {
 		if !noNoise {
@@ -96,13 +109,30 @@ func noisyConditionalsBinary(ctx context.Context, ds *dataset.Dataset, net Netwo
 // 1/n scale exactly like MaterializeP, and parallelism 1 normalizes
 // through marginal.Ladder, which reproduces the serial Materialize
 // accumulation byte for byte.
-func materializeJoint(ds *dataset.Dataset, pair APPair, parallelism int, cache *marginal.IndexCache) *marginal.Table {
+func materializeJoint(ds *dataset.Dataset, pair APPair, parallelism int, cache *marginal.IndexCache, cs marginal.CountSource) (*marginal.Table, error) {
 	n := ds.N()
+	if cs != nil {
+		// Counts mode: the joint's integer counts come from the source;
+		// normalization mirrors the row-mode contract exactly —
+		// parallelism 1 through the Ladder (serial byte-identity), any
+		// other through one exact 1/n scale.
+		ts, err := cs.CountTables(pair.Parents, []marginal.Var{pair.X})
+		if err != nil {
+			return nil, err
+		}
+		t := ts[0]
+		if parallelism == 1 && cache != nil {
+			cache.Ladder(n).Apply(t)
+		} else {
+			t.Scale(1 / float64(n))
+		}
+		return t, nil
+	}
 	if cache == nil || n == 0 {
-		return marginal.MaterializeP(ds, pair.Vars(), parallelism)
+		return marginal.MaterializeP(ds, pair.Vars(), parallelism), nil
 	}
 	if _, ok := marginal.ParentConfigs(ds, pair.Parents); !ok {
-		return marginal.MaterializeP(ds, pair.Vars(), parallelism)
+		return marginal.MaterializeP(ds, pair.Vars(), parallelism), nil
 	}
 	ix := cache.Get(ds, pair.Parents, parallelism)
 	t := ix.CountChildren(ds, []marginal.Var{pair.X}, parallelism)[0]
@@ -111,7 +141,22 @@ func materializeJoint(ds *dataset.Dataset, pair APPair, parallelism int, cache *
 	} else {
 		t.Scale(1 / float64(n))
 	}
-	return t
+	return t, nil
+}
+
+// prefetchPairCounts batches the AP pairs' joints into one count-source
+// pass when the source supports it — one scan covers the whole
+// distribution-learning phase of an out-of-core fit.
+func prefetchPairCounts(ctx context.Context, cs marginal.CountSource, pairs []APPair) error {
+	bcs, ok := cs.(marginal.BatchCountSource)
+	if !ok {
+		return nil
+	}
+	reqs := make([]marginal.CountRequest, len(pairs))
+	for i, pair := range pairs {
+		reqs[i] = marginal.CountRequest{Parents: pair.Parents, Children: []marginal.Var{pair.X}}
+	}
+	return bcs.Prefetch(ctx, reqs)
 }
 
 // projectOnto marginalizes the anchor joint onto [pair.Parents...,
@@ -141,7 +186,7 @@ func projectOnto(anchor *marginal.Table, pair APPair) (*marginal.Table, error) {
 // keeping the output bit-identical at every parallelism other than 1
 // (see NoisyConditionalsBinary for the contract).
 func NoisyConditionalsGeneral(ds *dataset.Dataset, net Network, eps2 float64, noNoise, consistent bool, parallelism int, rng *rand.Rand) []*marginal.Conditional {
-	conds, err := noisyConditionalsGeneral(context.Background(), ds, net, eps2, noNoise, consistent, parallelism, rng, nil, nil)
+	conds, err := noisyConditionalsGeneral(context.Background(), ds, net, eps2, noNoise, consistent, parallelism, rng, nil, nil, nil)
 	if err != nil {
 		// Unreachable: the background context never ends.
 		panic(err)
@@ -149,19 +194,32 @@ func NoisyConditionalsGeneral(ds *dataset.Dataset, net Network, eps2 float64, no
 	return conds
 }
 
-func noisyConditionalsGeneral(ctx context.Context, ds *dataset.Dataset, net Network, eps2 float64, noNoise, consistent bool, parallelism int, rng *rand.Rand, cache *marginal.IndexCache, progress *progressSink) ([]*marginal.Conditional, error) {
+func noisyConditionalsGeneral(ctx context.Context, ds *dataset.Dataset, net Network, eps2 float64, noNoise, consistent bool, parallelism int, rng *rand.Rand, cache *marginal.IndexCache, cs marginal.CountSource, progress *progressSink) ([]*marginal.Conditional, error) {
 	d := len(net.Pairs)
 	conds := make([]*marginal.Conditional, d)
 	n := float64(ds.N())
 	scale := 2 * float64(d) / (n * eps2)
+	if err := prefetchPairCounts(ctx, cs, net.Pairs); err != nil {
+		return nil, err
+	}
 	progress.start(PhaseMarginals, d)
+	jointErrs := make([]error, d)
 	joints, err := parallel.MapCtx(ctx, parallel.Workers(parallelism), d, func(i int) *marginal.Table {
-		t := materializeJoint(ds, net.Pairs[i], parallelism, cache)
+		t, err := materializeJoint(ds, net.Pairs[i], parallelism, cache, cs)
+		if err != nil {
+			jointErrs[i] = err
+			return nil
+		}
 		progress.unit(PhaseMarginals, d)
 		return t
 	})
 	if err != nil {
 		return nil, err
+	}
+	for _, err := range jointErrs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	for _, joint := range joints {
 		if !noNoise {

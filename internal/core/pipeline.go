@@ -9,6 +9,7 @@ import (
 
 	"privbayes/internal/dataset"
 	"privbayes/internal/dp"
+	"privbayes/internal/marginal"
 	"privbayes/internal/score"
 )
 
@@ -143,6 +144,23 @@ func Fit(ds *dataset.Dataset, opt Options) (*Model, error) {
 // workers, and returns ctx.Err(). Cancellation never produces a
 // partial model: the result is either complete or nil.
 func FitContext(ctx context.Context, ds *dataset.Dataset, opt Options) (*Model, error) {
+	return fitModel(ctx, ds, nil, opt)
+}
+
+// FitCountsContext runs the same two-phase pipeline as FitContext with
+// every data access routed through a count source: structure search,
+// sensitivities and table shapes need only the schema and row count
+// (carried by a virtual dataset), and every joint the scorer or the
+// conditional materialization needs is requested from cs as an exact
+// integer count table. Because integer counts are chunking-invariant
+// and the remaining float arithmetic is the very same code the
+// in-memory path runs, the returned model is byte-identical to
+// FitContext over the materialized rows, for any seed and parallelism.
+func FitCountsContext(ctx context.Context, attrs []dataset.Attribute, cs marginal.CountSource, opt Options) (*Model, error) {
+	return fitModel(ctx, dataset.NewVirtual(attrs, cs.Rows()), cs, opt)
+}
+
+func fitModel(ctx context.Context, ds *dataset.Dataset, cs marginal.CountSource, opt Options) (*Model, error) {
 	if err := opt.validate(ds); err != nil {
 		return nil, err
 	}
@@ -169,9 +187,15 @@ func FitContext(ctx context.Context, ds *dataset.Dataset, opt Options) (*Model, 
 
 	sc := opt.Scorer
 	if sc == nil {
-		sc = score.NewScorerSized(opt.Score, ds, opt.ScorerCacheSize)
+		if cs != nil {
+			sc = score.NewScorerCounts(opt.Score, ds.Attrs(), cs, opt.ScorerCacheSize)
+		} else {
+			sc = score.NewScorerSized(opt.Score, ds, opt.ScorerCacheSize)
+		}
 	} else if sc.Fn != opt.Score {
 		return nil, fmt.Errorf("core: supplied scorer computes %v, options ask for %v", sc.Fn, opt.Score)
+	} else if sc.CountSource() != cs {
+		return nil, errors.New("core: supplied scorer reads a different source than this fit")
 	}
 
 	progress := newProgressSink(opt.Progress)
@@ -200,7 +224,7 @@ func FitContext(ctx context.Context, ds *dataset.Dataset, opt Options) (*Model, 
 		m.Network = net
 		// Reuse the parent-configuration indexes the greedy iterations
 		// built: the chosen pairs' joints need only a child-column pass.
-		conds, err := noisyConditionalsBinary(ctx, ds, m.Network, k, eps2, opt.InfiniteMarginalBudget, opt.Consistency, opt.Parallelism, opt.Rand, sc.Indexes(), progress)
+		conds, err := noisyConditionalsBinary(ctx, ds, m.Network, k, eps2, opt.InfiniteMarginalBudget, opt.Consistency, opt.Parallelism, opt.Rand, sc.Indexes(), cs, progress)
 		if err != nil {
 			return nil, err
 		}
@@ -211,7 +235,7 @@ func FitContext(ctx context.Context, ds *dataset.Dataset, opt Options) (*Model, 
 			return nil, err
 		}
 		m.Network = net
-		conds, err := noisyConditionalsGeneral(ctx, ds, m.Network, eps2, opt.InfiniteMarginalBudget, opt.Consistency, opt.Parallelism, opt.Rand, sc.Indexes(), progress)
+		conds, err := noisyConditionalsGeneral(ctx, ds, m.Network, eps2, opt.InfiniteMarginalBudget, opt.Consistency, opt.Parallelism, opt.Rand, sc.Indexes(), cs, progress)
 		if err != nil {
 			return nil, err
 		}
@@ -221,6 +245,58 @@ func FitContext(ctx context.Context, ds *dataset.Dataset, opt Options) (*Model, 
 	}
 	if err := m.Network.Validate(ds.D()); err != nil {
 		return nil, err
+	}
+	return m, nil
+}
+
+// RefitCountsContext re-learns only the distribution phase: it keeps
+// the supplied network structure and materializes fresh noisy
+// conditionals from the count source, spending the whole opt.Epsilon
+// on distribution learning (there is no structure-learning charge, so
+// Beta is ignored). This is the curator's incremental refit — with a
+// StoreSource whose tables were maintained on ingest, no row is
+// re-read at all. k is the binary-mode anchor degree the network was
+// learned with; it is ignored in ModeGeneral.
+func RefitCountsContext(ctx context.Context, attrs []dataset.Attribute, cs marginal.CountSource, net Network, k int, opt Options) (*Model, error) {
+	if opt.Rand == nil {
+		return nil, errors.New("core: Options.Rand is required")
+	}
+	if opt.Epsilon <= 0 && !opt.InfiniteMarginalBudget {
+		return nil, fmt.Errorf("core: epsilon must be positive, got %g", opt.Epsilon)
+	}
+	n := cs.Rows()
+	if n == 0 {
+		return nil, errors.New("core: empty dataset")
+	}
+	ds := dataset.NewVirtual(attrs, n)
+	if err := net.Validate(ds.D()); err != nil {
+		return nil, err
+	}
+	progress := newProgressSink(opt.Progress)
+	// The index cache is empty in counts mode; it only carries the
+	// shared Ladder that keeps Parallelism=1 refits byte-identical to
+	// the serial in-memory path.
+	cache := marginal.NewIndexCache(0)
+	m := &Model{Attrs: append([]dataset.Attribute(nil), attrs...), Score: opt.Score, K: -1, Network: net}
+	switch opt.Mode {
+	case ModeBinary:
+		if k < 0 || k > ds.D()-1 {
+			return nil, fmt.Errorf("core: refit anchor degree %d outside [0, %d]", k, ds.D()-1)
+		}
+		m.K = k
+		conds, err := noisyConditionalsBinary(ctx, ds, net, k, opt.Epsilon, opt.InfiniteMarginalBudget, opt.Consistency, opt.Parallelism, opt.Rand, cache, cs, progress)
+		if err != nil {
+			return nil, err
+		}
+		m.Conds = conds
+	case ModeGeneral:
+		conds, err := noisyConditionalsGeneral(ctx, ds, net, opt.Epsilon, opt.InfiniteMarginalBudget, opt.Consistency, opt.Parallelism, opt.Rand, cache, cs, progress)
+		if err != nil {
+			return nil, err
+		}
+		m.Conds = conds
+	default:
+		return nil, fmt.Errorf("core: unknown mode %d", opt.Mode)
 	}
 	return m, nil
 }

@@ -27,14 +27,20 @@ func TestMaterializeJointCachedBitIdentical(t *testing.T) {
 	for _, par := range []int{1, 2, 4} {
 		cache := marginal.NewIndexCache(0)
 		want := marginal.MaterializeP(ds, pair.Vars(), par)
-		got := materializeJoint(ds, pair, par, cache)
+		got, err := materializeJoint(ds, pair, par, cache, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
 		for i := range want.P {
 			if got.P[i] != want.P[i] {
 				t.Fatalf("parallelism %d cell %d: cached %v, uncached %v", par, i, got.P[i], want.P[i])
 			}
 		}
 		// Second call hits the cached parent index; still identical.
-		again := materializeJoint(ds, pair, par, cache)
+		again, err := materializeJoint(ds, pair, par, cache, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
 		for i := range want.P {
 			if again.P[i] != want.P[i] {
 				t.Fatalf("parallelism %d cell %d differs on cache hit", par, i)
@@ -51,11 +57,11 @@ func TestNoisyConditionalsCachedBitIdentical(t *testing.T) {
 	sc := score.NewScorer(score.F, ds)
 	net := GreedyBayesBinary(ds, 2, 0.5, sc, 2, rand.New(rand.NewSource(9)))
 	for _, par := range []int{1, 2, 4} {
-		want, err := noisyConditionalsBinary(context.Background(), ds, net, 2, 1.0, false, false, par, rand.New(rand.NewSource(10)), nil, nil)
+		want, err := noisyConditionalsBinary(context.Background(), ds, net, 2, 1.0, false, false, par, rand.New(rand.NewSource(10)), nil, nil, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := noisyConditionalsBinary(context.Background(), ds, net, 2, 1.0, false, false, par, rand.New(rand.NewSource(10)), sc.Indexes(), nil)
+		got, err := noisyConditionalsBinary(context.Background(), ds, net, 2, 1.0, false, false, par, rand.New(rand.NewSource(10)), sc.Indexes(), nil, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

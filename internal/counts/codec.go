@@ -1,0 +1,240 @@
+package counts
+
+// Versioned binary serialization of a Store. The format is
+// self-checking (magic, version, schema digest, trailing CRC32C) but
+// not self-describing: the reader supplies the schema, and the digest
+// plus recomputed table shapes reject any mismatch. Counts are written
+// in registration order, so two equal stores serialize to equal bytes.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"hash/fnv"
+	"io"
+	"math"
+
+	"privbayes/internal/dataset"
+	"privbayes/internal/marginal"
+)
+
+// storeMagic identifies a serialized Store; the final byte before the
+// newline is the format version.
+var storeMagic = []byte("PBCNTS\x01\n")
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// maxStoredGroups bounds the group and per-group child counts a reader
+// will accept, keeping corrupt or hostile headers from driving huge
+// allocations before the CRC check can reject them.
+const maxStoredGroups = 1 << 20
+
+// SchemaDigest fingerprints a schema (names, kinds, domain sizes,
+// hierarchy shapes) for serialization compatibility checks.
+func SchemaDigest(attrs []dataset.Attribute) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	word := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	for i := range attrs {
+		a := &attrs[i]
+		io.WriteString(h, a.Name)
+		h.Write([]byte{0})
+		word(uint64(a.Kind))
+		word(uint64(a.Size()))
+		word(uint64(a.Height()))
+		for lvl := 1; lvl < a.Height(); lvl++ {
+			word(uint64(a.SizeAt(lvl)))
+		}
+	}
+	return h.Sum64()
+}
+
+// WriteTo serializes the store. The encoding is deterministic given
+// registration order and counts.
+func (s *Store) WriteTo(w io.Writer) (int64, error) {
+	s.mu.Lock()
+	body := make([]byte, 0, 64)
+	u32 := func(v uint32) { body = binary.LittleEndian.AppendUint32(body, v) }
+	u64 := func(v uint64) { body = binary.LittleEndian.AppendUint64(body, v) }
+	u64(SchemaDigest(s.attrs))
+	u64(uint64(s.rows))
+	u32(uint32(len(s.groups)))
+	for _, g := range s.groups {
+		u32(uint32(len(g.parents)))
+		for _, v := range g.parents {
+			u32(uint32(v.Attr))
+			u32(uint32(v.Level))
+		}
+		u32(uint32(len(g.children)))
+		for j, child := range g.children {
+			u32(uint32(child.Attr))
+			u32(uint32(child.Level))
+			t := g.tables[j]
+			u64(uint64(len(t.Counts)))
+			for _, c := range t.Counts {
+				u64(uint64(c))
+			}
+		}
+	}
+	s.mu.Unlock()
+
+	var total int64
+	for _, part := range [][]byte{storeMagic, body} {
+		n, err := w.Write(part)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(body, castagnoli))
+	n, err := w.Write(crc[:])
+	return total + int64(n), err
+}
+
+// storeReader walks the serialized body with bounds checks.
+type storeReader struct {
+	b   []byte
+	off int
+}
+
+func (r *storeReader) u32() (uint32, error) {
+	if r.off+4 > len(r.b) {
+		return 0, fmt.Errorf("counts: truncated store at offset %d", r.off)
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v, nil
+}
+
+func (r *storeReader) u64() (uint64, error) {
+	if r.off+8 > len(r.b) {
+		return 0, fmt.Errorf("counts: truncated store at offset %d", r.off)
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v, nil
+}
+
+func (r *storeReader) vars(n int) ([]marginal.Var, error) {
+	vars := make([]marginal.Var, n)
+	for i := range vars {
+		attr, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		level, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		vars[i] = marginal.Var{Attr: int(attr), Level: int(level)}
+	}
+	return vars, nil
+}
+
+// ReadStore deserializes a store written by WriteTo, validating the
+// magic, version, CRC, schema digest and every table shape against the
+// supplied schema. Counts must be non-negative and rows must not
+// exceed the int64 range — corrupt inputs fail with an error, never a
+// panic or an out-of-domain store.
+func ReadStore(r io.Reader, attrs []dataset.Attribute) (*Store, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("counts: read store: %w", err)
+	}
+	if len(raw) < len(storeMagic)+4 {
+		return nil, fmt.Errorf("counts: store too short (%d bytes)", len(raw))
+	}
+	if string(raw[:len(storeMagic)]) != string(storeMagic) {
+		return nil, fmt.Errorf("counts: bad magic or unsupported version")
+	}
+	body := raw[len(storeMagic) : len(raw)-4]
+	wantCRC := binary.LittleEndian.Uint32(raw[len(raw)-4:])
+	if crc32.Checksum(body, castagnoli) != wantCRC {
+		return nil, fmt.Errorf("counts: store CRC mismatch")
+	}
+
+	rd := &storeReader{b: body}
+	digest, err := rd.u64()
+	if err != nil {
+		return nil, err
+	}
+	if digest != SchemaDigest(attrs) {
+		return nil, fmt.Errorf("counts: store schema digest %x does not match supplied schema %x", digest, SchemaDigest(attrs))
+	}
+	rows, err := rd.u64()
+	if err != nil {
+		return nil, err
+	}
+	if rows > math.MaxInt64 {
+		return nil, fmt.Errorf("counts: row count %d out of range", rows)
+	}
+	ngroups, err := rd.u32()
+	if err != nil {
+		return nil, err
+	}
+	if ngroups > maxStoredGroups {
+		return nil, fmt.Errorf("counts: %d parent sets exceeds the limit", ngroups)
+	}
+
+	s := NewStore(attrs)
+	s.rows = int64(rows)
+	for gi := 0; gi < int(ngroups); gi++ {
+		nparents, err := rd.u32()
+		if err != nil {
+			return nil, err
+		}
+		if nparents > uint32(len(attrs)) {
+			return nil, fmt.Errorf("counts: parent set of %d variables exceeds schema", nparents)
+		}
+		parents, err := rd.vars(int(nparents))
+		if err != nil {
+			return nil, err
+		}
+		nchildren, err := rd.u32()
+		if err != nil {
+			return nil, err
+		}
+		if nchildren > maxStoredGroups {
+			return nil, fmt.Errorf("counts: %d children exceeds the limit", nchildren)
+		}
+		for ci := 0; ci < int(nchildren); ci++ {
+			child, err := rd.vars(1)
+			if err != nil {
+				return nil, err
+			}
+			ncells, err := rd.u64()
+			if err != nil {
+				return nil, err
+			}
+			// Register validates variables against the schema and
+			// allocates the correctly shaped table; a cell-count
+			// mismatch then proves corruption.
+			if err := s.Register(parents, child); err != nil {
+				return nil, err
+			}
+			t := s.byKey[varsKey(parents)].childTable(child[0])
+			if uint64(len(t.Counts)) != ncells {
+				return nil, fmt.Errorf("counts: table (%v | %v) has %d cells, schema implies %d", child[0], parents, ncells, len(t.Counts))
+			}
+			for i := range t.Counts {
+				v, err := rd.u64()
+				if err != nil {
+					return nil, err
+				}
+				c := int64(v)
+				if c < 0 {
+					return nil, fmt.Errorf("counts: negative count in table (%v | %v)", child[0], parents)
+				}
+				t.Counts[i] = c
+			}
+		}
+	}
+	if rd.off != len(body) {
+		return nil, fmt.Errorf("counts: %d trailing bytes after store body", len(body)-rd.off)
+	}
+	return s, nil
+}

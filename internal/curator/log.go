@@ -1,0 +1,398 @@
+package curator
+
+// The per-dataset row log. Each curated dataset owns one append-only
+// WAL (internal/wal) whose records are:
+//
+//	type 0 "schema": JSON attrSpec array — written once at creation;
+//	  reopening validates the stored schema against the caller's.
+//	type 1 "rows":   [keyLen u16][key][d u16][nrows u32][values u16 LE]
+//	  — one acknowledged append batch. The key is the client's
+//	  idempotency key ("" for fire-and-forget appends).
+//	type 2 "fit":    JSON fitMarker — a completed, published refit:
+//	  model id, ε, the row count the fit covered, and the learned
+//	  network, so a restart can rebuild the incremental count store
+//	  without refitting.
+//
+// The WAL's fsync-then-acknowledge contract gives the curator its
+// crash semantics for free: an acknowledged batch is on stable storage
+// before the HTTP 200 leaves the process, and a batch torn by a crash
+// was never acknowledged and vanishes at recovery.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"time"
+
+	"privbayes/internal/core"
+	"privbayes/internal/dataset"
+)
+
+// Record type tags.
+const (
+	recSchema byte = 0
+	recRows   byte = 1
+	recFit    byte = 2
+)
+
+// MaxBatchRows bounds one append batch; larger ingests split into
+// multiple batches client-side.
+const MaxBatchRows = 1 << 20
+
+// attrSpec is the stored schema form, one attribute per element — the
+// same wire shape the serving layer speaks (server.AttrSpec), redefined
+// here so the curator does not depend on the HTTP layer. Taxonomy
+// hierarchies beyond the automatic continuous binary tree are not
+// carried, matching the serving schema's contract.
+type attrSpec struct {
+	Name   string   `json:"name"`
+	Kind   string   `json:"kind"`
+	Labels []string `json:"labels,omitempty"`
+	Min    float64  `json:"min,omitempty"`
+	Max    float64  `json:"max,omitempty"`
+	Bins   int      `json:"bins,omitempty"`
+}
+
+func specsFromAttrs(attrs []dataset.Attribute) []attrSpec {
+	specs := make([]attrSpec, len(attrs))
+	for i := range attrs {
+		a := &attrs[i]
+		if a.Kind == dataset.Continuous {
+			specs[i] = attrSpec{Name: a.Name, Kind: "continuous", Min: a.Min, Max: a.Max, Bins: a.Size()}
+		} else {
+			specs[i] = attrSpec{Name: a.Name, Kind: "categorical", Labels: append([]string(nil), a.Labels...)}
+		}
+	}
+	return specs
+}
+
+func attrsFromSpecs(specs []attrSpec) ([]dataset.Attribute, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("curator: stored schema has no attributes")
+	}
+	attrs := make([]dataset.Attribute, len(specs))
+	for i, s := range specs {
+		switch s.Kind {
+		case "categorical":
+			if len(s.Labels) == 0 || len(s.Labels) > 1<<16 {
+				return nil, fmt.Errorf("curator: stored attribute %q has %d labels", s.Name, len(s.Labels))
+			}
+			attrs[i] = dataset.NewCategorical(s.Name, s.Labels)
+		case "continuous":
+			if s.Bins < 1 || s.Bins > 1<<16 || math.IsNaN(s.Min) || math.IsNaN(s.Max) || s.Min >= s.Max {
+				return nil, fmt.Errorf("curator: stored attribute %q has invalid binning", s.Name)
+			}
+			attrs[i] = dataset.NewContinuous(s.Name, s.Min, s.Max, s.Bins)
+		default:
+			return nil, fmt.Errorf("curator: stored attribute %q has unknown kind %q", s.Name, s.Kind)
+		}
+	}
+	return attrs, nil
+}
+
+// attrsEqual compares two schemas structurally (name, kind, domain).
+func attrsEqual(a, b []dataset.Attribute) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || a[i].Kind != b[i].Kind || a[i].Size() != b[i].Size() {
+			return false
+		}
+	}
+	return true
+}
+
+// fitMarker records one completed refit in the row log.
+type fitMarker struct {
+	ModelID  string       `json:"model_id"`
+	Epsilon  float64      `json:"epsilon"`
+	Rows     int64        `json:"rows"`  // row count the fit covered
+	Kind     string       `json:"kind"`  // "cold", "incremental" or "recovered"
+	K        int          `json:"k"`     // binary-mode anchor degree, -1 in general mode
+	Score    int          `json:"score"` // score.Function that chose the network
+	Network  core.Network `json:"network"`
+	UnixNano int64        `json:"unix_nano"`
+}
+
+// marshalFitMarker builds the type-2 record payload.
+func marshalFitMarker(fm *fitMarker) ([]byte, error) {
+	body, err := json.Marshal(fm)
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte{recFit}, body...), nil
+}
+
+func unmarshalFitMarker(payload []byte, fm *fitMarker) error {
+	if err := json.Unmarshal(payload, fm); err != nil {
+		return fmt.Errorf("curator: decode fit marker: %w", err)
+	}
+	if fm.ModelID == "" || fm.Rows <= 0 {
+		return fmt.Errorf("curator: fit marker missing model id or rows")
+	}
+	return nil
+}
+
+// encodeSchema builds the type-0 record payload.
+func encodeSchema(attrs []dataset.Attribute) ([]byte, error) {
+	body, err := json.Marshal(specsFromAttrs(attrs))
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte{recSchema}, body...), nil
+}
+
+func decodeSchema(payload []byte) ([]dataset.Attribute, error) {
+	var specs []attrSpec
+	if err := json.Unmarshal(payload, &specs); err != nil {
+		return nil, fmt.Errorf("curator: decode stored schema: %w", err)
+	}
+	return attrsFromSpecs(specs)
+}
+
+// encodeRows builds the type-1 record payload for one batch.
+func encodeRows(key string, chunk *dataset.Dataset) ([]byte, error) {
+	if len(key) > 1<<16-1 {
+		return nil, fmt.Errorf("curator: batch key %d bytes exceeds 65535", len(key))
+	}
+	n, d := chunk.N(), chunk.D()
+	if n == 0 {
+		return nil, fmt.Errorf("curator: empty batch")
+	}
+	if n > MaxBatchRows {
+		return nil, fmt.Errorf("curator: batch of %d rows exceeds cap %d", n, MaxBatchRows)
+	}
+	size := 1 + 2 + len(key) + 2 + 4 + n*d*2
+	if size > 16<<20 {
+		return nil, fmt.Errorf("curator: batch encodes to %d bytes, exceeding the record cap; split it", size)
+	}
+	buf := make([]byte, 0, size)
+	buf = append(buf, recRows)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(key)))
+	buf = append(buf, key...)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(d))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(n))
+	for r := 0; r < n; r++ {
+		for c := 0; c < d; c++ {
+			buf = binary.LittleEndian.AppendUint16(buf, uint16(chunk.Value(r, c)))
+		}
+	}
+	return buf, nil
+}
+
+// rowsHeader is the decoded header of a type-1 record: the batch key,
+// the geometry, and the offset of the value block within the payload.
+type rowsHeader struct {
+	key     string
+	d, n    int
+	valsOff int
+}
+
+func decodeRowsHeader(payload []byte) (rowsHeader, error) {
+	var h rowsHeader
+	if len(payload) < 2 {
+		return h, fmt.Errorf("curator: rows record too short")
+	}
+	kl := int(binary.LittleEndian.Uint16(payload))
+	off := 2 + kl
+	if len(payload) < off+6 {
+		return h, fmt.Errorf("curator: rows record too short")
+	}
+	h.key = string(payload[2 : 2+kl])
+	h.d = int(binary.LittleEndian.Uint16(payload[off:]))
+	h.n = int(binary.LittleEndian.Uint32(payload[off+2:]))
+	h.valsOff = off + 6
+	if h.d == 0 || h.n == 0 || h.n > MaxBatchRows {
+		return h, fmt.Errorf("curator: implausible rows record geometry %dx%d", h.n, h.d)
+	}
+	if len(payload) != h.valsOff+h.n*h.d*2 {
+		return h, fmt.Errorf("curator: rows record length %d does not match %dx%d geometry", len(payload), h.n, h.d)
+	}
+	return h, nil
+}
+
+// decodeRowsInto appends at most limit of the record's rows to dst
+// (limit < 0 means all), validating every code against the schema.
+func decodeRowsInto(dst *dataset.Dataset, payload []byte, h rowsHeader, limit int) error {
+	if h.d != dst.D() {
+		return fmt.Errorf("curator: rows record has %d columns, schema has %d", h.d, dst.D())
+	}
+	n := h.n
+	if limit >= 0 && n > limit {
+		n = limit
+	}
+	rec := make([]uint16, h.d)
+	off := h.valsOff
+	for r := 0; r < n; r++ {
+		for c := 0; c < h.d; c++ {
+			v := binary.LittleEndian.Uint16(payload[off:])
+			if int(v) >= dst.Attr(c).Size() {
+				return fmt.Errorf("curator: row %d col %d: code %d out of domain [0, %d)", r, c, v, dst.Attr(c).Size())
+			}
+			rec[c] = v
+			off += 2
+		}
+		dst.Append(rec)
+	}
+	return nil
+}
+
+// wireMagic mirrors the wal package's file header; the streaming row
+// scanner below parses the log directly so a multi-gigabyte row log is
+// never held in memory during a fit scan.
+const wireMagic = "PBWAL\x00\x01\n"
+
+var wireCastagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// rowLogSource builds a re-scannable chunk source over the row log at
+// path: the out-of-core fit path of a cold refit. Only intact type-1
+// records contribute rows; the scan tolerates a torn tail exactly like
+// WAL recovery (the torn record was never acknowledged). maxRows > 0
+// bounds the scan to the first maxRows ingested rows — the snapshot
+// that lets a fit scan a log other clients are still appending to.
+func rowLogSource(path string, attrs []dataset.Attribute, chunkRows int, maxRows int64) *dataset.ChunkSource {
+	if chunkRows <= 0 {
+		chunkRows = dataset.DefaultChunkRows
+	}
+	return &dataset.ChunkSource{
+		Attrs:     attrs,
+		ChunkRows: chunkRows,
+		Open: func() (dataset.Scanner, error) {
+			f, err := os.Open(path)
+			if err != nil {
+				return nil, err
+			}
+			br := bufio.NewReaderSize(f, 1<<20)
+			hdr := make([]byte, len(wireMagic))
+			if _, err := io.ReadFull(br, hdr); err != nil || string(hdr) != wireMagic {
+				f.Close()
+				return nil, fmt.Errorf("curator: %s is not a row log", path)
+			}
+			remaining := int64(-1)
+			if maxRows > 0 {
+				remaining = maxRows
+			}
+			return &rowLogScanner{f: f, br: br, attrs: attrs, chunkRows: chunkRows, remaining: remaining}, nil
+		},
+	}
+}
+
+// rowLogScanner streams type-1 records off the log, re-chunking their
+// rows into chunkRows-sized datasets. Batch boundaries never leak into
+// chunk boundaries, so the emitted row stream is identical to the
+// ingest order regardless of how appends were batched.
+type rowLogScanner struct {
+	f         *os.File
+	br        *bufio.Reader
+	attrs     []dataset.Attribute
+	chunkRows int
+	remaining int64 // rows left to emit; -1 = unlimited
+
+	pending *dataset.Dataset // partially filled chunk
+	eof     bool
+	err     error
+}
+
+func (s *rowLogScanner) Next() (*dataset.Dataset, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	for !s.eof {
+		if s.pending != nil && s.pending.N() >= s.chunkRows {
+			break
+		}
+		if s.remaining == 0 {
+			s.eof = true
+			break
+		}
+		payload, err := s.readRecord()
+		if err == io.EOF {
+			s.eof = true
+			break
+		}
+		if err != nil {
+			s.err = err
+			return nil, err
+		}
+		if len(payload) == 0 || payload[0] != recRows {
+			continue
+		}
+		h, err := decodeRowsHeader(payload[1:])
+		if err != nil {
+			s.err = err
+			return nil, err
+		}
+		if s.pending == nil {
+			s.pending = dataset.New(s.attrs)
+		}
+		limit := -1
+		if s.remaining >= 0 {
+			limit = int(s.remaining)
+		}
+		before := s.pending.N()
+		if err := decodeRowsInto(s.pending, payload[1:], h, limit); err != nil {
+			s.err = err
+			return nil, err
+		}
+		if s.remaining >= 0 {
+			s.remaining -= int64(s.pending.N() - before)
+		}
+	}
+	if s.pending == nil || s.pending.N() == 0 {
+		s.err = io.EOF
+		return nil, io.EOF
+	}
+	out := s.pending
+	if out.N() > s.chunkRows {
+		// Split: emit exactly chunkRows, carry the tail forward.
+		head := out.Slice(0, s.chunkRows)
+		tail := dataset.New(s.attrs)
+		rec := make([]uint16, out.D())
+		for r := s.chunkRows; r < out.N(); r++ {
+			for c := 0; c < out.D(); c++ {
+				rec[c] = uint16(out.Value(r, c))
+			}
+			tail.Append(rec)
+		}
+		s.pending = tail
+		return head, nil
+	}
+	s.pending = nil
+	return out, nil
+}
+
+// readRecord reads one WAL record, verifying its checksum. A torn tail
+// (truncated header/payload or checksum mismatch at end of file)
+// surfaces as io.EOF: those bytes were never acknowledged.
+func (s *rowLogScanner) readRecord() ([]byte, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(s.br, hdr[:]); err != nil {
+		return nil, io.EOF // clean end or torn header
+	}
+	length := binary.LittleEndian.Uint32(hdr[:4])
+	if length == 0 || length > 16<<20 {
+		return nil, fmt.Errorf("curator: implausible row-log record length %d", length)
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(s.br, payload); err != nil {
+		return nil, io.EOF // torn payload
+	}
+	if crc32.Checksum(payload, wireCastagnoli) != binary.LittleEndian.Uint32(hdr[4:]) {
+		// Checksum mismatch: if more data follows this is corruption, but
+		// the WAL layer already failed Open in that case; by the time a
+		// scan runs, a mismatch can only be a tail torn after recovery.
+		return nil, io.EOF
+	}
+	return payload, nil
+}
+
+func (s *rowLogScanner) Close() error { return s.f.Close() }
+
+// nowUnixNano is a seam for tests that pin time.
+var nowUnixNano = func() int64 { return time.Now().UnixNano() }

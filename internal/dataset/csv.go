@@ -4,7 +4,6 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
-	"math"
 	"strconv"
 )
 
@@ -97,24 +96,8 @@ func ReadCSV(r io.Reader, attrs []Attribute) (*Dataset, error) {
 			// data-row number, which is what schema-level callers count.
 			return nil, fmt.Errorf("dataset: row %d: %w", row, err)
 		}
-		for c, cell := range cells {
-			a := &attrs[c]
-			if a.Kind == Continuous {
-				v, err := strconv.ParseFloat(cell, 64)
-				if err != nil {
-					return nil, fmt.Errorf("dataset: row %d, column %d (%s): %w", row, c+1, a.Name, err)
-				}
-				if math.IsNaN(v) || math.IsInf(v, 0) {
-					return nil, fmt.Errorf("dataset: row %d, column %d (%s): non-finite value %q", row, c+1, a.Name, cell)
-				}
-				rec[c] = uint16(a.Bin(v))
-			} else {
-				code := a.Code(cell)
-				if code < 0 {
-					return nil, fmt.Errorf("dataset: row %d, column %d (%s): unknown label %q", row, c+1, a.Name, cell)
-				}
-				rec[c] = uint16(code)
-			}
+		if err := decodeCSVRow(attrs, cells, rec, row); err != nil {
+			return nil, err
 		}
 		d.Append(rec)
 	}

@@ -50,6 +50,32 @@ func NewWithLen(attrs []Attribute, n int) *Dataset {
 	return d
 }
 
+// NewVirtual creates a dataset that carries only the schema and a row
+// count — no column storage. It is the seam that lets schema+N-driven
+// code (structure search, sensitivity, table shaping) run in the
+// out-of-core fit path, where the rows live behind a Scanner instead
+// of in memory. Row accessors (Value, Record, Column, Append) must not
+// be used on a virtual dataset.
+func NewVirtual(attrs []Attribute, n int) *Dataset {
+	d := New(attrs)
+	d.n = n
+	return d
+}
+
+// Slice returns a zero-copy view of rows [lo, hi): the chunk shares
+// the receiver's column storage. Mutating either dataset's shared rows
+// is visible in both.
+func (d *Dataset) Slice(lo, hi int) *Dataset {
+	if lo < 0 || hi > d.n || lo > hi {
+		panic(fmt.Sprintf("dataset: slice [%d, %d) outside [0, %d)", lo, hi, d.n))
+	}
+	s := &Dataset{attrs: d.attrs, cols: make([][]uint16, len(d.cols)), n: hi - lo}
+	for i := range d.cols {
+		s.cols[i] = d.cols[i][lo:hi:hi]
+	}
+	return s
+}
+
 // SetRecord overwrites row i with one code per attribute. Concurrent
 // calls for distinct rows are race-free.
 func (d *Dataset) SetRecord(i int, rec []uint16) {

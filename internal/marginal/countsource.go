@@ -1,0 +1,46 @@
+package marginal
+
+import "context"
+
+// CountSource supplies exact integer joint count tables without
+// exposing rows. It is the seam between the fit pipeline and the
+// out-of-core engine: everything PrivBayes learns from data reduces to
+// the schema, the row count, and [parents..., child] count tables, so
+// a source backed by chunked scans (counts.Provider) or an
+// incrementally maintained store (counts.StoreSource) can drive the
+// exact same greedy search and conditional materialization as
+// in-memory rows.
+//
+// CountTables must return, for each child, the table
+// ParentIndex.CountChildren would produce over the full dataset: laid
+// out [parents..., child] with integer-valued float64 cells. Integer
+// counts merge exactly, so any chunking or sharding of the underlying
+// rows yields bit-identical tables — the foundation of the
+// out-of-core fit's byte-identity contract.
+type CountSource interface {
+	// Rows returns the number of rows the counts are over.
+	Rows() int
+	// CountTables returns one exact count table per child, each laid
+	// out [parents..., child]. The caller owns the returned tables and
+	// may mutate them freely.
+	CountTables(parents []Var, children []Var) ([]*Table, error)
+}
+
+// CountRequest names one group of joint tables over a shared parent
+// set, for batched prefetching.
+type CountRequest struct {
+	Parents  []Var
+	Children []Var
+}
+
+// BatchCountSource is implemented by count sources that can satisfy
+// many requests in one pass over the data. The scoring engine and the
+// conditional materialization prefetch each batch, so a scan-backed
+// source pays one full scan per greedy iteration rather than one per
+// parent set.
+type BatchCountSource interface {
+	CountSource
+	// Prefetch makes subsequent CountTables calls for the requested
+	// groups serve from memory.
+	Prefetch(ctx context.Context, reqs []CountRequest) error
+}

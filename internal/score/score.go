@@ -87,6 +87,13 @@ type Scorer struct {
 
 	idx *marginal.IndexCache
 
+	// cs, when set, is the counts-mode seam: joints come from the
+	// count source instead of row scans, and ds is a virtual dataset
+	// carrying only schema and row count. Joint count tables are
+	// integer-exact either way, so counts-mode scores are bit-identical
+	// to row-scan scores.
+	cs marginal.CountSource
+
 	allBinary bool
 }
 
@@ -120,6 +127,23 @@ func NewScorerSized(fn Function, ds *dataset.Dataset, cacheSize int) *Scorer {
 		allBinary: all,
 	}
 }
+
+// NewScorerCounts builds a scorer that evaluates scores from a count
+// source instead of materialized rows — the out-of-core scoring path.
+// The dataset behind it is virtual (schema + cs.Rows() only); every
+// joint is requested from cs, whose integer count tables make the
+// resulting scores bit-identical to an in-memory scorer over the same
+// rows. cacheSize bounds the memo as in NewScorerSized.
+func NewScorerCounts(fn Function, attrs []dataset.Attribute, cs marginal.CountSource, cacheSize int) *Scorer {
+	s := NewScorerSized(fn, dataset.NewVirtual(attrs, cs.Rows()), cacheSize)
+	s.cs = cs
+	return s
+}
+
+// CountSource returns the count source a counts-mode scorer reads, or
+// nil for a row-backed scorer — pipelines use it to verify a shared
+// scorer matches the fit's data source.
+func (s *Scorer) CountSource() marginal.CountSource { return s.cs }
 
 // Sensitivity returns the sensitivity of the configured score function on
 // this dataset, for use as the exponential-mechanism scaling factor.
@@ -209,6 +233,16 @@ func (s *Scorer) CacheSize() int {
 }
 
 func (s *Scorer) compute(x marginal.Var, parents []marginal.Var) float64 {
+	if s.cs != nil {
+		v, err := s.computeCounts(x, parents)
+		if err != nil {
+			// Counts-mode fits route through ScoreBatchContext, which
+			// surfaces source errors; the per-candidate path has no
+			// error channel.
+			panic(fmt.Sprintf("score: counts-mode Score: %v", err))
+		}
+		return v
+	}
 	vars := append(append([]marginal.Var(nil), parents...), x)
 	switch s.Fn {
 	case MI:
@@ -228,6 +262,42 @@ func (s *Scorer) compute(x marginal.Var, parents []marginal.Var) float64 {
 		}
 		counts := marginal.MaterializeCounts(s.ds, vars)
 		return FScoreFromCounts(counts.P, s.ds.N())
+	default:
+		panic("score: unknown function")
+	}
+}
+
+// computeCounts evaluates one candidate from the count source. The
+// joint count table equals what a row scan would have counted, and the
+// Ladder normalization reproduces the serial Materialize accumulation,
+// so values are bit-identical to the row-scan compute.
+func (s *Scorer) computeCounts(x marginal.Var, parents []marginal.Var) (float64, error) {
+	n := s.ds.N()
+	if n == 0 {
+		return 0, fmt.Errorf("score: counts-mode scorer over an empty source")
+	}
+	joints, err := s.cs.CountTables(parents, []marginal.Var{x})
+	if err != nil {
+		return 0, err
+	}
+	joint := joints[0]
+	switch s.Fn {
+	case F:
+		if x.Size(s.ds) != 2 {
+			panic("score: F requires a binary child attribute")
+		}
+		for _, p := range parents {
+			if p.Size(s.ds) != 2 {
+				panic("score: F requires binary parent attributes")
+			}
+		}
+		return FScoreFromCounts(joint.P, n), nil
+	case MI:
+		s.idx.Ladder(n).Apply(joint)
+		return infotheory.MutualInformationSplit(joint), nil
+	case R:
+		s.idx.Ladder(n).Apply(joint)
+		return RScore(joint), nil
 	default:
 		panic("score: unknown function")
 	}

@@ -19,6 +19,7 @@ package score
 
 import (
 	"context"
+	"fmt"
 
 	"privbayes/internal/infotheory"
 	"privbayes/internal/marginal"
@@ -83,15 +84,39 @@ func (s *Scorer) ScoreBatchContext(ctx context.Context, parallelism int, pairs [
 
 	groups, works := s.planBatch(pairs, out)
 	if len(groups) > 0 {
+		// A batchable count source satisfies the whole batch's missing
+		// tables in one pass over the data before the groups fan out —
+		// this is what bounds the out-of-core fit to one full scan per
+		// greedy iteration.
+		if bcs, ok := s.cs.(marginal.BatchCountSource); ok {
+			reqs := make([]marginal.CountRequest, len(groups))
+			for i, g := range groups {
+				children := make([]marginal.Var, len(g.works))
+				for j, w := range g.works {
+					children[j] = w.x
+				}
+				reqs[i] = marginal.CountRequest{Parents: g.parents, Children: children}
+			}
+			if err := bcs.Prefetch(ctx, reqs); err != nil {
+				return nil, err
+			}
+		}
+
 		workers := parallel.Workers(parallelism)
 		inner := workers / len(groups)
 		if inner < 1 {
 			inner = 1
 		}
+		groupErrs := make([]error, len(groups))
 		if err := parallel.ForCtx(ctx, workers, len(groups), func(gi int) {
-			s.scoreGroup(groups[gi], inner)
+			groupErrs[gi] = s.scoreGroup(groups[gi], inner)
 		}); err != nil {
 			return nil, err
+		}
+		for _, err := range groupErrs {
+			if err != nil {
+				return nil, err
+			}
 		}
 
 		s.mu.Lock()
@@ -164,16 +189,25 @@ func (s *Scorer) planBatch(pairs []Pair, out []float64) ([]*batchGroup, []*batch
 	return groups, works
 }
 
-// scoreGroup materializes every child joint of one parent-set group with
-// a single fused scan and evaluates the score function on each.
-func (s *Scorer) scoreGroup(g *batchGroup, parallelism int) {
+// scoreGroup materializes every child joint of one parent-set group —
+// with a single fused scan in row mode, or from the count source in
+// counts mode — and evaluates the score function on each. The
+// post-joint arithmetic is identical in both modes, and the joints are
+// integer-equal, so so are the scores.
+func (s *Scorer) scoreGroup(g *batchGroup, parallelism int) error {
 	if _, ok := marginal.ParentConfigs(s.ds, g.parents); !ok {
+		if s.cs != nil {
+			// The row-mode fallback rescans rows per candidate; out of
+			// core there are no rows. Unreachable under θ-usefulness
+			// domain caps.
+			return fmt.Errorf("score: parent set %v overflows the code domain; not scorable out of core", g.parents)
+		}
 		// Configuration space exceeds the uint32 code domain; fall back
 		// to the per-candidate path for this (pathological) group.
 		for _, w := range g.works {
 			w.val = s.compute(w.x, g.parents)
 		}
-		return
+		return nil
 	}
 	if s.Fn == F {
 		for _, v := range g.parents {
@@ -188,12 +222,21 @@ func (s *Scorer) scoreGroup(g *batchGroup, parallelism int) {
 		}
 	}
 
-	ix := s.idx.Get(s.ds, g.parents, parallelism)
 	children := make([]marginal.Var, len(g.works))
 	for j, w := range g.works {
 		children[j] = w.x
 	}
-	joints := ix.CountChildren(s.ds, children, parallelism)
+	var joints []*marginal.Table
+	if s.cs != nil {
+		var err error
+		joints, err = s.cs.CountTables(g.parents, children)
+		if err != nil {
+			return err
+		}
+	} else {
+		ix := s.idx.Get(s.ds, g.parents, parallelism)
+		joints = ix.CountChildren(s.ds, children, parallelism)
+	}
 
 	n := s.ds.N()
 	switch s.Fn {
@@ -216,6 +259,7 @@ func (s *Scorer) scoreGroup(g *batchGroup, parallelism int) {
 	default:
 		panic("score: unknown function")
 	}
+	return nil
 }
 
 // Indexes exposes the scorer's parent-configuration index cache so later

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -13,6 +14,7 @@ import (
 	"strings"
 
 	"privbayes/internal/accountant"
+	"privbayes/internal/curator"
 	"privbayes/internal/telemetry"
 )
 
@@ -382,4 +384,102 @@ func writeFitBody(mw *multipart.Writer, fr FitRequest) error {
 	}
 	_, err = io.Copy(part, fr.Data)
 	return err
+}
+
+// CreateDataset registers a curated dataset for continuous ingest. The
+// schema is fixed at creation; every appended batch must match it.
+func (c *Client) CreateDataset(ctx context.Context, id string, schema []AttrSpec) (curator.Status, error) {
+	body, err := json.Marshal(schema)
+	if err != nil {
+		return curator.Status{}, err
+	}
+	resp, err := c.do(ctx, func() (*http.Request, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			c.BaseURL+"/datasets/"+url.PathEscape(id), bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		return req, nil
+	})
+	if err != nil {
+		return curator.Status{}, err
+	}
+	if resp.StatusCode != http.StatusCreated {
+		return curator.Status{}, apiError(resp)
+	}
+	defer resp.Body.Close()
+	var st curator.Status
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	return st, err
+}
+
+// AppendResult reports an acknowledged row append.
+type AppendResult struct {
+	// Rows is the number of rows the server decoded from this batch.
+	Rows int `json:"rows"`
+	// Duplicate reports an idempotent replay: the key was already
+	// acknowledged and nothing was appended again.
+	Duplicate bool `json:"duplicate"`
+	// TotalRows is the dataset's row count after the append.
+	TotalRows int64 `json:"total_rows"`
+}
+
+// AppendRows appends one JSONL batch (one object per line, keyed by
+// attribute name) to a curated dataset. A non-empty key makes the
+// append idempotent; empty with retries enabled, the Client generates
+// one so an automatic retry after an ambiguous network failure can
+// never double-ingest the batch. A success return means the batch is
+// fsynced into the dataset's crash-safe row log.
+func (c *Client) AppendRows(ctx context.Context, id, key string, rows io.Reader) (AppendResult, error) {
+	seeker, rewindable := rows.(io.Seeker)
+	sender := c.forBody(rewindable)
+	if key == "" && sender.Retry.enabled() {
+		key = newIdempotencyKey()
+	}
+	first := true
+	resp, err := sender.do(ctx, func() (*http.Request, error) {
+		if !first {
+			if _, err := seeker.Seek(0, io.SeekStart); err != nil {
+				return nil, err
+			}
+		}
+		first = false
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			c.BaseURL+"/datasets/"+url.PathEscape(id)+"/rows", rows)
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/jsonl")
+		if key != "" {
+			req.Header.Set("Idempotency-Key", key)
+		}
+		return req, nil
+	})
+	if err != nil {
+		return AppendResult{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return AppendResult{}, apiError(resp)
+	}
+	defer resp.Body.Close()
+	var out AppendResult
+	err = json.NewDecoder(resp.Body).Decode(&out)
+	return out, err
+}
+
+// DatasetStatus fetches a curated dataset's ingest and refit standing.
+func (c *Client) DatasetStatus(ctx context.Context, id string) (curator.Status, error) {
+	var st curator.Status
+	err := c.getJSON(ctx, "/datasets/"+url.PathEscape(id), &st)
+	return st, err
+}
+
+// Datasets lists the curated datasets.
+func (c *Client) Datasets(ctx context.Context) ([]curator.Status, error) {
+	var out struct {
+		Datasets []curator.Status `json:"datasets"`
+	}
+	err := c.getJSON(ctx, "/datasets", &out)
+	return out.Datasets, err
 }

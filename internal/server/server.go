@@ -23,6 +23,7 @@
 package server
 
 import (
+	"context"
 	"encoding/csv"
 	"encoding/json"
 	"errors"
@@ -41,6 +42,7 @@ import (
 	"privbayes"
 	"privbayes/internal/accountant"
 	"privbayes/internal/core"
+	"privbayes/internal/curator"
 	"privbayes/internal/dataset"
 	"privbayes/internal/faultfs"
 	"privbayes/internal/infer"
@@ -92,6 +94,27 @@ type Config struct {
 	// id; excess fits get 429 + Retry-After. <= 0 selects
 	// DefaultMaxFitsPerDataset.
 	MaxFitsPerDataset int
+	// CuratorDir enables the continuous curator: one crash-safe row log
+	// per curated dataset lives here, and the /datasets endpoints come
+	// up. Empty disables curation.
+	CuratorDir string
+	// RefitEpsilon is the ε charged per background refit of a curated
+	// dataset; <= 0 disables refits (ingest-only curation).
+	RefitEpsilon float64
+	// RefitRows triggers a background refit once that many rows have
+	// accumulated beyond the last fitted model; <= 0 disables the row
+	// trigger.
+	RefitRows int64
+	// RefitStaleness triggers a background refit once unfitted rows are
+	// older than this; <= 0 disables the staleness trigger.
+	RefitStaleness time.Duration
+	// CuratorPollInterval is the staleness check cadence; <= 0 selects
+	// the curator default.
+	CuratorPollInterval time.Duration
+	// FitChunkRows bounds the rows materialized at a time while fitting
+	// (POST /fit spools the upload and scans it; curator refits scan the
+	// row log); <= 0 selects the scanner default.
+	FitChunkRows int
 	// FS is the filesystem seam for model-artifact persistence; nil
 	// selects the real filesystem. Tests inject write/sync/rename
 	// faults and crashes here (internal/faultfs).
@@ -125,7 +148,8 @@ type Server struct {
 	maxBytes   int64
 	maxPar     int
 	mux        *http.ServeMux
-	seq        atomic.Int64 // generated-id counter
+	curator    *curator.Curator // nil when CuratorDir is unset
+	seq        atomic.Int64     // generated-id counter
 
 	metrics    *serverMetrics // never nil; no-op without a registry
 	log        *slog.Logger   // never nil; NopLogger without a Logger
@@ -202,6 +226,44 @@ func New(cfg Config) (*Server, error) {
 		s.logf("loaded %d model(s) from %s", n, cfg.ModelsDir)
 	}
 
+	if cfg.CuratorDir != "" {
+		cur, err := curator.New(curator.Config{
+			Dir:               cfg.CuratorDir,
+			Ledger:            cfg.Ledger,
+			RefitEpsilon:      cfg.RefitEpsilon,
+			RefitRows:         cfg.RefitRows,
+			RefitMaxStaleness: cfg.RefitStaleness,
+			PollInterval:      cfg.CuratorPollInterval,
+			ChunkRows:         cfg.FitChunkRows,
+			Acquire: func(ctx context.Context, want int) (int, func(), error) {
+				return s.workers.acquire(ctx, s.requestWorkers(want), false)
+			},
+			Publish: func(id string, m *privbayes.Model, epsilon float64) error {
+				if err := s.registry.Put(id, "curator", m, epsilon); err != nil {
+					// A republish after a crash-recovered charge may find
+					// the model already registered; that is success.
+					if !errors.Is(err, ErrExists) {
+						return err
+					}
+				} else {
+					s.persist(id, m, epsilon)
+				}
+				return nil
+			},
+			Lookup: func(id string) (*privbayes.Model, bool) {
+				m, _, err := s.registry.Get(id)
+				return m, err == nil
+			},
+			FS:      cfg.FS,
+			Logf:    s.logf,
+			Metrics: curator.NewMetrics(cfg.Telemetry),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("server: curator: %w", err)
+		}
+		s.curator = cur
+	}
+
 	// Every route goes through the telemetry middleware under a fixed
 	// route name, so metric label cardinality is bounded by this table
 	// no matter what paths clients send.
@@ -220,6 +282,10 @@ func New(cfg Config) (*Server, error) {
 	handle("POST /models/{id}/query", "query", s.handleQuery)
 	handle("POST /fit", "fit", s.handleFit)
 	handle("GET /budget", "budget", s.handleBudget)
+	handle("GET /datasets", "datasets_list", s.handleDatasetList)
+	handle("POST /datasets/{id}", "dataset_create", s.handleDatasetCreate)
+	handle("GET /datasets/{id}", "dataset_get", s.handleDatasetStatus)
+	handle("POST /datasets/{id}/rows", "dataset_rows", s.handleDatasetRows)
 	// Scrape endpoints are served outside the middleware: a scrape must
 	// not inflate the request counters it reports.
 	mux.Handle("GET /metrics", cfg.Telemetry.Handler())
@@ -231,6 +297,16 @@ func New(cfg Config) (*Server, error) {
 // Registry exposes the model registry (read-mostly; used by privbayesd
 // for startup reporting and by tests).
 func (s *Server) Registry() *Registry { return s.registry }
+
+// Close stops background curation (waiting for in-flight refits) and
+// closes the curated row logs. Serving handlers are unaffected; callers
+// stop the HTTP listener separately.
+func (s *Server) Close() error {
+	if s.curator != nil {
+		return s.curator.Close()
+	}
+	return nil
+}
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
@@ -298,10 +374,12 @@ func statusFor(err error) int {
 		// client error — surface it as 5xx so operators and retry logic
 		// see it.
 		return http.StatusInternalServerError
-	case errors.Is(err, ErrNotFound):
+	case errors.Is(err, ErrNotFound), errors.Is(err, curator.ErrNotFound):
 		return http.StatusNotFound
-	case errors.Is(err, ErrExists):
+	case errors.Is(err, ErrExists), errors.Is(err, curator.ErrExists):
 		return http.StatusConflict
+	case errors.Is(err, curator.ErrClosed):
+		return http.StatusServiceUnavailable
 	case errors.Is(err, accountant.ErrBudgetExceeded):
 		return http.StatusForbidden
 	case errors.Is(err, accountant.ErrIdempotencyMismatch):
@@ -753,8 +831,14 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 		haveSeed           bool
 		par                int
 		specs              []AttrSpec
-		ds                 *dataset.Dataset
+		attrs              []dataset.Attribute
+		spool              string // temp file holding the spooled CSV
 	)
+	defer func() {
+		if spool != "" {
+			os.Remove(spool)
+		}
+	}()
 	charged := false
 	refund := func() {
 		if !charged {
@@ -791,7 +875,7 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 		// fields in hand when it arrives, so a field accepted afterwards
 		// could change ε (or the dataset id) after metering — a
 		// privacy-accounting bypass. Reject instead.
-		if ds != nil {
+		if spool != "" {
 			refund()
 			writeError(w, http.StatusBadRequest, "field %q after the data part; data must come last", name)
 			return
@@ -803,7 +887,7 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 				writeError(w, http.StatusBadRequest, "dataset_id, epsilon and schema must precede the data part")
 				return
 			}
-			attrs, err := SchemaFromSpecs(specs)
+			attrs, err = SchemaFromSpecs(specs)
 			if err != nil {
 				writeError(w, http.StatusBadRequest, "%v", err)
 				return
@@ -860,11 +944,15 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 				}
 			}
 			charged = true
-			ds, err = dataset.ReadCSV(part, attrs)
+			// Spool the CSV to disk instead of materializing it: the fit
+			// below scans the spool file in bounded chunks, so request
+			// memory stays flat no matter how many rows arrive. The 413
+			// cap still applies — MaxBytesReader fails the copy.
+			spool, err = s.spoolCSV(part)
 			if err != nil {
 				refund()
 				// statusFor distinguishes an upload that blew the size
-				// cap (413) from a malformed CSV (400).
+				// cap (413) from an unreadable body (400).
 				writeError(w, statusFor(err), "%v", err)
 				return
 			}
@@ -918,14 +1006,17 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	if ds == nil {
+	if spool == "" {
 		refund()
 		writeError(w, http.StatusBadRequest, "missing data part")
 		return
 	}
-	if ds.N() == 0 {
+	// Probe the spooled file before committing workers to the fit: a bad
+	// header, an undecodable first row, or an empty body reject here with
+	// the same diagnostics the in-memory decode used to produce.
+	if err := probeCSV(spool, attrs); err != nil {
 		refund()
-		writeError(w, http.StatusBadRequest, "data part has no rows")
+		writeError(w, statusFor(err), "%v", err)
 		return
 	}
 	if modelID == "" {
@@ -975,7 +1066,11 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 		pt := &phaseTimer{m: s.metrics}
 		fitOpts = append(fitOpts, privbayes.WithProgress(pt.observe))
 	}
-	model, err := privbayes.Fit(r.Context(), ds, fitOpts...)
+	// The fit scans the spool file in bounded chunks (one pass per greedy
+	// iteration) instead of materializing the rows: peak memory is set by
+	// FitChunkRows, not the upload size, and the fitted model is
+	// byte-identical to the in-memory path for the same seed.
+	model, err := privbayes.FitScanner(r.Context(), privbayes.CSVSource(spool, attrs, s.cfg.FitChunkRows), fitOpts...)
 	release()
 	if err != nil {
 		// The failed (or cancelled) fit released nothing observable, so

@@ -248,6 +248,14 @@ func (c config) validate() error {
 // from the config's source (drawing a cryptographic seed if unset), so
 // concurrent runs from one config never share RNG state.
 func (c config) toCore(ds *Dataset) (core.Options, error) {
+	return c.toCoreAttrs(ds.Attrs())
+}
+
+// toCoreAttrs is toCore from a schema alone — mode selection and score
+// defaults depend only on attribute domains, never on rows, which is
+// what lets the scanner entry points parameterize a fit before any
+// data has been read.
+func (c config) toCoreAttrs(attrs []Attribute) (core.Options, error) {
 	if err := c.validate(); err != nil {
 		return core.Options{}, err
 	}
@@ -267,8 +275,8 @@ func (c config) toCore(ds *Dataset) (core.Options, error) {
 		Rand:            src.Rand(),
 	}
 	binary := true
-	for i := 0; i < ds.D(); i++ {
-		if ds.Attr(i).Size() != 2 {
+	for i := range attrs {
+		if attrs[i].Size() != 2 {
 			binary = false
 			break
 		}

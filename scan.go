@@ -1,0 +1,71 @@
+package privbayes
+
+// Out-of-core fitting. FitScanner runs the identical two-phase
+// pipeline as Fit with the rows left on disk: every greedy iteration
+// re-reads the source once through a chunked scanner and reduces it to
+// exact integer count tables (one table per candidate parent set, one
+// column per child), and the distribution phase prefetches all chosen
+// joints in one final pass. Peak memory is bounded by the chunk size
+// plus the count tables — never by the row count — and the fitted
+// model is byte-identical to Fit over the materialized rows for the
+// same seed, at every parallelism setting.
+
+import (
+	"context"
+
+	"privbayes/internal/core"
+	"privbayes/internal/counts"
+	"privbayes/internal/dataset"
+)
+
+// ScanSource is a chunked, re-scannable dataset source: a schema plus
+// a way to open a fresh pass over the rows. Build one with CSVSource,
+// JSONLSource or DatasetSource. The same source can back any number of
+// FitScanner calls; each call re-opens it per greedy iteration.
+type ScanSource = dataset.ChunkSource
+
+// DefaultChunkRows is the chunk size the source constructors use when
+// given chunkRows <= 0.
+const DefaultChunkRows = dataset.DefaultChunkRows
+
+// CSVSource describes a headered CSV file as a re-scannable source.
+// chunkRows bounds the rows materialized at a time (<= 0 selects
+// DefaultChunkRows). The file is not opened until fitting starts, and
+// is re-read once per greedy iteration, so it must stay unchanged for
+// the duration of a fit.
+func CSVSource(path string, attrs []Attribute, chunkRows int) *ScanSource {
+	return dataset.CSVFile(path, attrs, chunkRows)
+}
+
+// JSONLSource describes a JSON-lines file (one object per row, fields
+// keyed by attribute name) as a re-scannable source. See CSVSource for
+// the chunking and immutability contract.
+func JSONLSource(path string, attrs []Attribute, chunkRows int) *ScanSource {
+	return dataset.JSONLFile(path, attrs, chunkRows)
+}
+
+// DatasetSource adapts an in-memory dataset to the scanner interface —
+// chunks are zero-copy views — so scanner-path code can be exercised
+// (and its bit-identity to Fit verified) without touching disk.
+func DatasetSource(ds *Dataset, chunkRows int) *ScanSource {
+	return dataset.DatasetSource(ds, chunkRows)
+}
+
+// FitScanner learns a PrivBayes model from a chunked source under
+// ε-differential privacy without ever materializing the full dataset:
+// the out-of-core counterpart of Fit. The source is scanned once up
+// front to count rows, once per greedy iteration, and once for the
+// distribution phase. For a fixed seed the result is byte-identical to
+// Fit over the same rows at every parallelism; the source must not
+// change between scans (a changed row count fails the fit).
+func FitScanner(ctx context.Context, src *ScanSource, opts ...Option) (*Model, error) {
+	opt, err := resolve(opts).toCoreAttrs(src.Attrs)
+	if err != nil {
+		return nil, err
+	}
+	p, err := counts.NewProvider(ctx, src, opt.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+	return core.FitCountsContext(ctx, src.Attrs, p, opt)
+}
