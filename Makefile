@@ -48,6 +48,8 @@ bench-json:
 	$(GO) run ./cmd/quality -check=false -out BENCH_quality.json
 	$(GO) test -run NONE -bench 'BenchmarkScoreBatch(Shared|Legacy)$$' \
 		-benchtime 1s ./internal/score > bench_scoring.out
+	$(GO) test -run NONE -bench 'BenchmarkCount(Columnar|RowMajor)$$' \
+		-benchtime 1s ./internal/marginal >> bench_scoring.out
 	$(GO) run ./cmd/benchjson -in bench_scoring.out > BENCH_scoring.json
 	@rm -f bench_scoring.out
 	@cat BENCH_scoring.json
@@ -81,16 +83,19 @@ quality:
 	$(GO) run ./cmd/quality -out BENCH_quality.json
 	@cat BENCH_quality.json
 
-# Native fuzzing smoke over the untrusted-input parsers: model artifacts
-# (core.ReadModelJSON, behind LoadModel), CSV uploads (dataset.ReadCSV),
-# JSONL row appends (dataset.ScanJSONL) and the curator's on-disk row
-# record codec. FUZZTIME bounds each target; the nightly workflow runs
-# with a larger budget.
+# Native fuzzing smoke over the untrusted-input parsers — model
+# artifacts (core.ReadModelJSON, behind LoadModel), CSV uploads
+# (dataset.ReadCSV), JSONL row appends (dataset.ScanJSONL), the
+# curator's on-disk row record codec — plus the differential counting
+# fuzz pinning the popcount kernel to the legacy row-major counts.
+# FUZZTIME bounds each target; the nightly workflow runs with a larger
+# budget.
 fuzz:
 	$(GO) test -run NONE -fuzz 'FuzzReadModelJSON$$' -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run NONE -fuzz 'FuzzReadCSV$$' -fuzztime $(FUZZTIME) ./internal/dataset
 	$(GO) test -run NONE -fuzz 'FuzzScanJSONL$$' -fuzztime $(FUZZTIME) ./internal/dataset
 	$(GO) test -run NONE -fuzz 'FuzzAppendRows$$' -fuzztime $(FUZZTIME) ./internal/curator
+	$(GO) test -run NONE -fuzz 'FuzzColumnarCounts$$' -fuzztime $(FUZZTIME) ./internal/marginal
 
 # Crash-loop harness over the real binary: kill -9 privbayesd at points
 # spread across a curator fit and across the continuous-curation
@@ -146,10 +151,12 @@ logcheck:
 	@echo "logcheck: internal/server is print-free"
 
 # Coverage with a floor: fails when total statement coverage drops
-# below COVER_FLOOR percent. CI uploads coverage.out as an artifact.
+# below COVER_FLOOR percent. The profile lands under build/ (ignored)
+# instead of littering the repo root; CI uploads it as an artifact.
 cover:
-	$(GO) test -coverprofile=coverage.out ./...
-	@total=$$($(GO) tool cover -func=coverage.out | tail -1 | \
+	@mkdir -p build
+	$(GO) test -coverprofile=build/coverage.out ./...
+	@total=$$($(GO) tool cover -func=build/coverage.out | tail -1 | \
 		sed -E 's/.*[[:space:]]([0-9]+(\.[0-9]+)?)%$$/\1/'); \
 	echo "total coverage: $$total% (floor $(COVER_FLOOR)%)"; \
 	ok=$$(awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN{print (t+0 >= f+0) ? 1 : 0}'); \

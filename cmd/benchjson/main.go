@@ -141,6 +141,9 @@ func parseBenchLine(line string) (Benchmark, bool) {
 // query engine against synthesize-then-scan.
 var speedupPairs = []struct{ fast, base, label string }{
 	{"BenchmarkScoreBatchShared/", "BenchmarkScoreBatchLegacy/", "shared_vs_legacy/"},
+	// Columnar popcount counting against the legacy row-major walk on
+	// the same bit-packed dataset (internal/marginal, d ∈ {8,16,32}).
+	{"BenchmarkCountColumnar/", "BenchmarkCountRowMajor/", "columnar_vs_rowmajor/"},
 	{"BenchmarkQuery/", "BenchmarkSynthesizeThenScan/", "query_vs_scan/"},
 	// Telemetry pairs invert the usual reading: fast is the no-op (off)
 	// path, so the ratio is on_ns/off_ns — the relative cost of enabling

@@ -36,12 +36,18 @@ func NewFourier(ds *dataset.Dataset, alpha int, epsilon float64, rng *rand.Rand)
 	scale := 2 * float64(len(subsets)) / (float64(ds.N()) * epsilon)
 	f := &Fourier{ds: ds, coeffs: make(map[string]float64, len(subsets))}
 	n := ds.N()
+	// Decode each (possibly bit-packed) column once, shared by every
+	// subset's character sum.
+	decoded := make([][]uint16, d)
+	for a := 0; a < d; a++ {
+		decoded[a] = ds.ColumnCodes(a)
+	}
 	for _, s := range subsets {
 		// f̂(S) = (1/n) Σ_rows χ_S(row), with χ_S(x) = (−1)^{Σ_{i∈S} x_i}.
 		var sum float64
 		cols := make([][]uint16, len(s))
 		for i, a := range s {
-			cols[i] = ds.Column(a)
+			cols[i] = decoded[a]
 		}
 		for r := 0; r < n; r++ {
 			parity := 0

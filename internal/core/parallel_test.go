@@ -96,7 +96,7 @@ func TestSamplePDeterministicAcrossParallelism(t *testing.T) {
 	for _, par := range []int{0, 3, 4, 16} {
 		got := m.SampleP(n, rand.New(rand.NewSource(3)), par)
 		for c := 0; c < got.D(); c++ {
-			a, b := got.Column(c), want.Column(c)
+			a, b := got.ColumnCodes(c), want.ColumnCodes(c)
 			for r := range a {
 				if a[r] != b[r] {
 					t.Fatalf("parallelism %d: row %d col %d = %d, want %d", par, r, c, a[r], b[r])
@@ -119,7 +119,7 @@ func TestSamplePSerialPathIsLegacy(t *testing.T) {
 	want := m.Sample(3000, rand.New(rand.NewSource(5)))
 	got := m.SampleP(3000, rand.New(rand.NewSource(5)), 1)
 	for c := 0; c < got.D(); c++ {
-		a, b := got.Column(c), want.Column(c)
+		a, b := got.ColumnCodes(c), want.ColumnCodes(c)
 		for r := range a {
 			if a[r] != b[r] {
 				t.Fatalf("row %d col %d = %d, want %d", r, c, a[r], b[r])

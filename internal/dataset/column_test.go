@@ -1,0 +1,189 @@
+package dataset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestColumnWidthSelection pins the width ladder: bit-packed for
+// low-arity read-only columns, byte-addressable when writable or wide.
+func TestColumnWidthSelection(t *testing.T) {
+	cases := []struct {
+		size     int
+		writable bool
+		want     int
+	}{
+		{2, false, 1},
+		{3, false, 2},
+		{4, false, 2},
+		{5, false, 8},
+		{256, false, 8},
+		{257, false, 16},
+		{1 << 16, false, 16},
+		{2, true, 8},
+		{4, true, 8},
+		{257, true, 16},
+	}
+	for _, c := range cases {
+		if got := widthFor(c.size, c.writable); got != c.want {
+			t.Errorf("widthFor(%d, %v) = %d, want %d", c.size, c.writable, got, c.want)
+		}
+	}
+	if !newColumn(2, 0, false).Maskable() {
+		t.Error("size-2 read-only column should be maskable")
+	}
+	if newColumn(2, 0, true).Maskable() {
+		t.Error("writable column must not be bit-packed (Set would race)")
+	}
+}
+
+// randCodes draws n codes uniform over the domain.
+func randCodes(n, size int, rng *rand.Rand) []uint16 {
+	out := make([]uint16, n)
+	for i := range out {
+		out[i] = uint16(rng.Intn(size))
+	}
+	return out
+}
+
+// TestColumnRoundTrip checks Append/AppendBlock/Get/DecodeRange agree
+// with the plain slice for every width, including word-boundary
+// straddling lengths.
+func TestColumnRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, size := range []int{2, 3, 4, 7, 300} {
+		for _, n := range []int{0, 1, 63, 64, 65, 129, 1000} {
+			want := randCodes(n, size, rng)
+
+			// Row-at-a-time fill.
+			byRow := newColumn(size, 0, false)
+			for _, v := range want {
+				byRow.Append(v)
+			}
+			// Bulk fill, split at an odd point so AppendBlock exercises
+			// both the unaligned prologue and the word-aligned body.
+			bulk := newColumn(size, n, false)
+			cut := n / 3
+			bulk.AppendBlock(want[:cut])
+			bulk.AppendBlock(want[cut:])
+
+			for name, c := range map[string]*Column{"row": byRow, "bulk": bulk} {
+				if c.Len() != n {
+					t.Fatalf("size %d n %d %s: Len = %d", size, n, name, c.Len())
+				}
+				for i, w := range want {
+					if got := c.Get(i); got != w {
+						t.Fatalf("size %d n %d %s: Get(%d) = %d, want %d", size, n, name, i, got, w)
+					}
+				}
+				lo, hi := 0, n
+				if n > 10 {
+					lo, hi = 3, n-2
+				}
+				dec := c.DecodeRange(lo, hi, nil)
+				for i, w := range want[lo:hi] {
+					if dec[i] != w {
+						t.Fatalf("size %d n %d %s: DecodeRange[%d] = %d, want %d", size, n, name, i, dec[i], w)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestColumnValueMask checks FillValueMask against a per-row Get scan,
+// on aligned columns and on unaligned views.
+func TestColumnValueMask(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, size := range []int{2, 3, 4} {
+		n := 517
+		want := randCodes(n, size, rng)
+		c := newColumn(size, n, false)
+		c.AppendBlock(want)
+
+		check := func(name string, col *Column) {
+			t.Helper()
+			mask := make([]uint64, col.MaskWords())
+			for v := 0; v < size; v++ {
+				col.FillValueMask(v, mask)
+				for r := 0; r < col.Len(); r++ {
+					got := mask[r>>6]>>(uint(r)&63)&1 == 1
+					if got != (int(col.Get(r)) == v) {
+						t.Fatalf("size %d %s value %d row %d: mask bit %v", size, name, v, r, got)
+					}
+				}
+				for r := col.Len(); r < 64*col.MaskWords(); r++ {
+					if mask[r>>6]>>(uint(r)&63)&1 == 1 {
+						t.Fatalf("size %d %s value %d: tail bit %d set", size, name, v, r)
+					}
+				}
+			}
+		}
+		check("full", c)
+		check("aligned-view", c.view(64, 384))
+		check("unaligned-view", c.view(7, 422))
+	}
+}
+
+// TestColumnViewClone checks zero-copy views and deep clones read back
+// the same codes, and that a clone is independent of its source.
+func TestColumnViewClone(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, size := range []int{2, 4, 9, 400} {
+		n := 300
+		want := randCodes(n, size, rng)
+		c := newColumn(size, n, false)
+		c.AppendBlock(want)
+
+		v := c.view(17, 203)
+		if v.Len() != 203-17 {
+			t.Fatalf("view len %d", v.Len())
+		}
+		for i := 0; i < v.Len(); i++ {
+			if v.Get(i) != want[17+i] {
+				t.Fatalf("size %d view Get(%d) = %d, want %d", size, i, v.Get(i), want[17+i])
+			}
+		}
+		// Views of views compose.
+		vv := v.view(5, 100)
+		for i := 0; i < vv.Len(); i++ {
+			if vv.Get(i) != want[22+i] {
+				t.Fatalf("size %d nested view Get(%d) = %d, want %d", size, i, vv.Get(i), want[22+i])
+			}
+		}
+
+		cl := c.clone()
+		cl.Append(uint16(0))
+		if cl.Len() != n+1 || c.Len() != n {
+			t.Fatalf("clone length leak: %d / %d", cl.Len(), c.Len())
+		}
+		for i := range want {
+			if cl.Get(i) != want[i] {
+				t.Fatalf("size %d clone Get(%d) mismatch", size, i)
+			}
+		}
+	}
+}
+
+// TestWritableColumnSet checks NewWithLen datasets take SetRecord
+// writes and that their columns never select a bit-packed width.
+func TestWritableColumnSet(t *testing.T) {
+	attrs := []Attribute{
+		NewCategorical("a", []string{"0", "1"}),
+		NewCategorical("b", []string{"x", "y", "z"}),
+	}
+	d := NewWithLen(attrs, 100)
+	for c := 0; c < d.D(); c++ {
+		if d.Col(c).Maskable() {
+			t.Fatalf("NewWithLen column %d is bit-packed; SetRecord would race", c)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		d.SetRecord(i, []uint16{uint16(i % 2), uint16(i % 3)})
+	}
+	for i := 0; i < 100; i++ {
+		if d.Value(i, 0) != i%2 || d.Value(i, 1) != i%3 {
+			t.Fatalf("row %d = (%d, %d)", i, d.Value(i, 0), d.Value(i, 1))
+		}
+	}
+}

@@ -84,6 +84,10 @@ func ReadCSV(r io.Reader, attrs []Attribute) (*Dataset, error) {
 	}
 	d := New(attrs)
 	rec := make([]uint16, len(attrs))
+	// Rows are staged column-major in blocks and bulk-packed, so
+	// bit-packed columns fill 64 codes per word (see AppendColumns).
+	const block = 4096
+	stage := newStage(len(attrs))
 	row := 0 // 1-based data row (header excluded) once inside the loop
 	for {
 		cells, err := cr.Read()
@@ -99,7 +103,14 @@ func ReadCSV(r io.Reader, attrs []Attribute) (*Dataset, error) {
 		if err := decodeCSVRow(attrs, cells, rec, row); err != nil {
 			return nil, err
 		}
-		d.Append(rec)
+		for c, v := range rec {
+			stage[c] = append(stage[c], v)
+		}
+		if len(attrs) > 0 && len(stage[0]) >= block {
+			d.AppendColumns(stage)
+			resetStage(stage)
+		}
 	}
+	d.AppendColumns(stage)
 	return d, nil
 }

@@ -6,47 +6,44 @@ import (
 	"math/rand"
 )
 
-// Dataset is a column-oriented table of encoded records. Each column
-// stores the code of the corresponding attribute for every row. Column
-// storage keeps marginal materialization (the hot loop of PrivBayes)
-// cache-friendly.
+// Dataset is a columnar table of encoded records: one dictionary-encoded
+// Column per attribute, bit-packed down to 1–2 bits per value for
+// low-arity attributes (see column.go). Columnar storage keeps marginal
+// materialization — the hot loop of PrivBayes — cache-friendly, and the
+// bit-packed layout is what the popcount counting kernels in
+// internal/marginal select on.
 type Dataset struct {
 	attrs []Attribute
-	cols  [][]uint16
+	cols  []*Column
 	n     int
 }
 
 // New creates an empty dataset with the given schema.
 func New(attrs []Attribute) *Dataset {
-	d := &Dataset{attrs: append([]Attribute(nil), attrs...)}
-	d.cols = make([][]uint16, len(attrs))
-	for i, a := range attrs {
-		if a.Size() > 1<<16 {
-			panic(fmt.Sprintf("dataset: attribute %s domain too large for uint16 codes", a.Name))
-		}
-		d.cols[i] = nil
-	}
-	return d
+	return NewWithCapacity(attrs, 0)
 }
 
 // NewWithCapacity creates an empty dataset preallocating room for n rows.
 func NewWithCapacity(attrs []Attribute, n int) *Dataset {
-	d := New(attrs)
-	for i := range d.cols {
-		d.cols[i] = make([]uint16, 0, n)
+	d := &Dataset{attrs: append([]Attribute(nil), attrs...)}
+	d.cols = make([]*Column, len(attrs))
+	for i := range d.attrs {
+		d.cols[i] = newColumn(d.attrs[i].Size(), n, false)
 	}
 	return d
 }
 
 // NewWithLen creates a dataset with n zero-filled rows, for callers
 // that fill rows by index — e.g. the parallel sampler, whose workers
-// write disjoint row ranges of one shared dataset.
+// write disjoint row ranges of one shared dataset. Its columns use
+// byte-addressable code widths (never bit-packed) so those concurrent
+// disjoint-row writes cannot share a memory word.
 func NewWithLen(attrs []Attribute, n int) *Dataset {
-	d := New(attrs)
-	for i := range d.cols {
-		d.cols[i] = make([]uint16, n)
+	d := &Dataset{attrs: append([]Attribute(nil), attrs...), n: n}
+	d.cols = make([]*Column, len(attrs))
+	for i := range d.attrs {
+		d.cols[i] = newColumnLen(d.attrs[i].Size(), n)
 	}
-	d.n = n
 	return d
 }
 
@@ -54,12 +51,10 @@ func NewWithLen(attrs []Attribute, n int) *Dataset {
 // count — no column storage. It is the seam that lets schema+N-driven
 // code (structure search, sensitivity, table shaping) run in the
 // out-of-core fit path, where the rows live behind a Scanner instead
-// of in memory. Row accessors (Value, Record, Column, Append) must not
-// be used on a virtual dataset.
+// of in memory. Row accessors (Value, Record, Col, Append) must not
+// be used on a virtual dataset; Col returns nil.
 func NewVirtual(attrs []Attribute, n int) *Dataset {
-	d := New(attrs)
-	d.n = n
-	return d
+	return &Dataset{attrs: append([]Attribute(nil), attrs...), n: n}
 }
 
 // Slice returns a zero-copy view of rows [lo, hi): the chunk shares
@@ -69,15 +64,19 @@ func (d *Dataset) Slice(lo, hi int) *Dataset {
 	if lo < 0 || hi > d.n || lo > hi {
 		panic(fmt.Sprintf("dataset: slice [%d, %d) outside [0, %d)", lo, hi, d.n))
 	}
-	s := &Dataset{attrs: d.attrs, cols: make([][]uint16, len(d.cols)), n: hi - lo}
-	for i := range d.cols {
-		s.cols[i] = d.cols[i][lo:hi:hi]
+	s := &Dataset{attrs: d.attrs, n: hi - lo}
+	if d.cols != nil {
+		s.cols = make([]*Column, len(d.cols))
+		for i := range d.cols {
+			s.cols[i] = d.cols[i].view(lo, hi)
+		}
 	}
 	return s
 }
 
 // SetRecord overwrites row i with one code per attribute. Concurrent
-// calls for distinct rows are race-free.
+// calls for distinct rows are race-free on datasets built with
+// NewWithLen.
 func (d *Dataset) SetRecord(i int, rec []uint16) {
 	if len(rec) != len(d.attrs) {
 		panic(fmt.Sprintf("dataset: record has %d values, want %d", len(rec), len(d.attrs)))
@@ -86,7 +85,7 @@ func (d *Dataset) SetRecord(i int, rec []uint16) {
 		if int(v) >= d.attrs[c].Size() {
 			panic(fmt.Sprintf("dataset: code %d out of range for attribute %s (size %d)", v, d.attrs[c].Name, d.attrs[c].Size()))
 		}
-		d.cols[c][i] = v
+		d.cols[c].Set(i, v)
 	}
 }
 
@@ -113,12 +112,28 @@ func (d *Dataset) AttrIndex(name string) int {
 	return -1
 }
 
-// Column returns the raw code column for attribute i. The caller must
-// not mutate it.
-func (d *Dataset) Column(i int) []uint16 { return d.cols[i] }
+// Col returns the column of attribute i, or nil on a virtual dataset.
+func (d *Dataset) Col(i int) *Column {
+	if d.cols == nil {
+		return nil
+	}
+	return d.cols[i]
+}
+
+// ColumnCodes returns the codes of attribute i as a widened []uint16,
+// decoding bit-packed columns (zero-copy only for 16-bit columns). The
+// caller must not mutate the result. Counting paths should prefer
+// Col's DecodeRange or FillValueMask; this is the convenience accessor
+// for cold full-column consumers.
+func (d *Dataset) ColumnCodes(i int) []uint16 {
+	if d.cols == nil || d.n == 0 {
+		return nil
+	}
+	return d.cols[i].DecodeRange(0, d.n, nil)
+}
 
 // Value returns the code at (row, col).
-func (d *Dataset) Value(row, col int) int { return int(d.cols[col][row]) }
+func (d *Dataset) Value(row, col int) int { return int(d.cols[col].Get(row)) }
 
 // Append adds a record given as one code per attribute.
 func (d *Dataset) Append(rec []uint16) {
@@ -129,9 +144,38 @@ func (d *Dataset) Append(rec []uint16) {
 		if int(v) >= d.attrs[i].Size() {
 			panic(fmt.Sprintf("dataset: code %d out of range for attribute %s (size %d)", v, d.attrs[i].Name, d.attrs[i].Size()))
 		}
-		d.cols[i] = append(d.cols[i], v)
+		d.cols[i].Append(v)
 	}
 	d.n++
+}
+
+// AppendColumns bulk-appends a block of rows given column-major: cols
+// holds one code slice per attribute, all the same length. It is the
+// columnar fill path the chunk scanners use — bit-packed columns pack
+// 64 codes per word instead of paying per-row bit surgery.
+func (d *Dataset) AppendColumns(cols [][]uint16) {
+	if len(cols) != len(d.attrs) {
+		panic(fmt.Sprintf("dataset: block has %d columns, want %d", len(cols), len(d.attrs)))
+	}
+	if len(cols) == 0 {
+		return
+	}
+	rows := len(cols[0])
+	for i, col := range cols {
+		if len(col) != rows {
+			panic(fmt.Sprintf("dataset: block column %d has %d rows, column 0 has %d", i, len(col), rows))
+		}
+		size := d.attrs[i].Size()
+		for _, v := range col {
+			if int(v) >= size {
+				panic(fmt.Sprintf("dataset: code %d out of range for attribute %s (size %d)", v, d.attrs[i].Name, size))
+			}
+		}
+	}
+	for i, col := range cols {
+		d.cols[i].AppendBlock(col)
+	}
+	d.n += rows
 }
 
 // Record copies row i into dst (allocating when dst is short) and
@@ -142,17 +186,19 @@ func (d *Dataset) Record(i int, dst []uint16) []uint16 {
 	}
 	dst = dst[:len(d.attrs)]
 	for c := range d.cols {
-		dst[c] = d.cols[c][i]
+		dst[c] = d.cols[c].Get(i)
 	}
 	return dst
 }
 
 // Clone returns a deep copy.
 func (d *Dataset) Clone() *Dataset {
-	c := New(d.attrs)
-	c.n = d.n
-	for i := range d.cols {
-		c.cols[i] = append([]uint16(nil), d.cols[i]...)
+	c := &Dataset{attrs: d.attrs, n: d.n}
+	if d.cols != nil {
+		c.cols = make([]*Column, len(d.cols))
+		for i := range d.cols {
+			c.cols[i] = d.cols[i].clone()
+		}
 	}
 	return c
 }
@@ -161,12 +207,10 @@ func (d *Dataset) Clone() *Dataset {
 func (d *Dataset) Subset(rows []int) *Dataset {
 	s := NewWithCapacity(d.attrs, len(rows))
 	for i := range d.cols {
-		col := d.cols[i]
-		dst := s.cols[i][:0]
+		src, dst := d.cols[i], s.cols[i]
 		for _, r := range rows {
-			dst = append(dst, col[r])
+			dst.Append(src.Get(r))
 		}
-		s.cols[i] = dst
 	}
 	s.n = len(rows)
 	return s

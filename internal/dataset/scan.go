@@ -20,8 +20,9 @@ import (
 )
 
 // DefaultChunkRows is the chunk size scanners use when the caller does
-// not choose one. At 2 bytes per cell a chunk costs about
-// 128 KiB × D(attributes) of resident memory.
+// not choose one. A chunk costs at most 128 KiB × D(attributes) of
+// resident memory (2 bytes per cell for wide columns; bit-packed
+// low-arity columns cost 1/8 to 1/16 of that).
 const DefaultChunkRows = 1 << 16
 
 // MaxJSONLLine bounds one JSONL row's encoded length, mirroring
@@ -121,7 +122,23 @@ func ScanCSV(r io.Reader, attrs []Attribute, chunkRows int) (Scanner, error) {
 	if chunkRows <= 0 {
 		chunkRows = DefaultChunkRows
 	}
-	return &csvScanner{cr: cr, attrs: attrs, chunk: chunkRows, rec: make([]uint16, len(attrs))}, nil
+	return &csvScanner{cr: cr, attrs: attrs, chunk: chunkRows,
+		rec: make([]uint16, len(attrs)), stage: newStage(len(attrs))}, nil
+}
+
+// newStage allocates the per-attribute staging buffers a scanner
+// decodes rows into before bulk-packing them into a columnar chunk.
+// Staging column-major lets bit-packed columns fill 64 codes per word
+// (Dataset.AppendColumns) instead of paying per-row bit surgery, and
+// the buffers are reused across chunks.
+func newStage(d int) [][]uint16 {
+	return make([][]uint16, d)
+}
+
+func resetStage(stage [][]uint16) {
+	for c := range stage {
+		stage[c] = stage[c][:0]
+	}
 }
 
 type csvScanner struct {
@@ -129,7 +146,8 @@ type csvScanner struct {
 	attrs  []Attribute
 	chunk  int
 	rec    []uint16
-	row    int // 1-based data row, for error reporting
+	stage  [][]uint16 // per-attribute chunk staging, reused across Next
+	row    int        // 1-based data row, for error reporting
 	err    error
 	closer io.Closer
 }
@@ -138,15 +156,16 @@ func (s *csvScanner) Next() (*Dataset, error) {
 	if s.err != nil {
 		return nil, s.err
 	}
-	d := NewWithCapacity(s.attrs, s.chunk)
-	for d.N() < s.chunk {
+	resetStage(s.stage)
+	rows := 0
+	for rows < s.chunk {
 		cells, err := s.cr.Read()
 		if err == io.EOF {
-			if d.N() == 0 {
+			if rows == 0 {
 				s.err = io.EOF
 				return nil, io.EOF
 			}
-			return d, nil
+			break
 		}
 		s.row++
 		if err != nil {
@@ -157,8 +176,13 @@ func (s *csvScanner) Next() (*Dataset, error) {
 			s.err = err
 			return nil, s.err
 		}
-		d.Append(s.rec)
+		for c, v := range s.rec {
+			s.stage[c] = append(s.stage[c], v)
+		}
+		rows++
 	}
+	d := NewWithCapacity(s.attrs, rows)
+	d.AppendColumns(s.stage)
 	return d, nil
 }
 
@@ -208,7 +232,8 @@ func ScanJSONL(r io.Reader, attrs []Attribute, chunkRows int) Scanner {
 	}
 	br := bufio.NewScanner(r)
 	br.Buffer(make([]byte, 0, 64<<10), MaxJSONLLine)
-	return &jsonlScanner{br: br, attrs: attrs, chunk: chunkRows, rec: make([]uint16, len(attrs))}
+	return &jsonlScanner{br: br, attrs: attrs, chunk: chunkRows,
+		rec: make([]uint16, len(attrs)), stage: newStage(len(attrs))}
 }
 
 type jsonlScanner struct {
@@ -216,7 +241,8 @@ type jsonlScanner struct {
 	attrs  []Attribute
 	chunk  int
 	rec    []uint16
-	row    int // 1-based non-blank row, for error reporting
+	stage  [][]uint16 // per-attribute chunk staging, reused across Next
+	row    int        // 1-based non-blank row, for error reporting
 	err    error
 	closer io.Closer
 }
@@ -225,18 +251,19 @@ func (s *jsonlScanner) Next() (*Dataset, error) {
 	if s.err != nil {
 		return nil, s.err
 	}
-	d := NewWithCapacity(s.attrs, s.chunk)
-	for d.N() < s.chunk {
+	resetStage(s.stage)
+	rows := 0
+	for rows < s.chunk {
 		if !s.br.Scan() {
 			if err := s.br.Err(); err != nil {
 				s.err = fmt.Errorf("dataset: jsonl row %d: %w", s.row+1, err)
 				return nil, s.err
 			}
-			if d.N() == 0 {
+			if rows == 0 {
 				s.err = io.EOF
 				return nil, io.EOF
 			}
-			return d, nil
+			break
 		}
 		line := bytes.TrimSpace(s.br.Bytes())
 		if len(line) == 0 {
@@ -247,8 +274,13 @@ func (s *jsonlScanner) Next() (*Dataset, error) {
 			s.err = err
 			return nil, s.err
 		}
-		d.Append(s.rec)
+		for c, v := range s.rec {
+			s.stage[c] = append(s.stage[c], v)
+		}
+		rows++
 	}
+	d := NewWithCapacity(s.attrs, rows)
+	d.AppendColumns(s.stage)
 	return d, nil
 }
 

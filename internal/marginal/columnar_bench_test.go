@@ -1,0 +1,72 @@
+package marginal
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"privbayes/internal/dataset"
+)
+
+// Paired columnar-vs-rowmajor counting benchmarks: one greedy-iteration
+// shaped workload — build the parent index for a fixed 2-parent set,
+// then count every remaining attribute as a child — over binary
+// (NLTCS-style) attributes at d ∈ {8, 16, 32}. CountColumnar runs the
+// popcount kernel; CountRowMajor forces the legacy row walk (code build
+// + fused decode scan) on the same bit-packed dataset. cmd/benchjson
+// pairs the matching sub-names into columnar_vs_rowmajor/* speedups in
+// BENCH_scoring.json.
+
+const benchCountRows = 1 << 16
+
+// benchBinaryData builds an n×d all-binary dataset, the layout the
+// 1-bit packing and popcount kernel are shaped around.
+func benchBinaryData(n, d int, seed int64) *dataset.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	attrs := make([]dataset.Attribute, d)
+	for a := range attrs {
+		attrs[a] = dataset.NewCategorical(fmt.Sprintf("a%d", a), []string{"0", "1"})
+	}
+	ds := dataset.NewWithCapacity(attrs, n)
+	rec := make([]uint16, d)
+	for r := 0; r < n; r++ {
+		for c := 0; c < d; c++ {
+			rec[c] = uint16(rng.Intn(2))
+		}
+		ds.Append(rec)
+	}
+	return ds
+}
+
+func benchCountChildren(b *testing.B, d int, rowMajor bool) {
+	ds := benchBinaryData(benchCountRows, d, 42)
+	parents := []Var{{Attr: 0}, {Attr: 1}}
+	children := make([]Var, 0, d-2)
+	for a := 2; a < d; a++ {
+		children = append(children, Var{Attr: a})
+	}
+	old := disablePopcount
+	disablePopcount = rowMajor
+	defer func() { disablePopcount = old }()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A fresh index per iteration, as a fresh parent set in the
+		// greedy search would be: the row-major path pays its code
+		// build, the columnar path its mask builds.
+		ix := BuildParentIndex(ds, parents, 1)
+		ix.CountChildren(ds, children, 1)
+	}
+}
+
+func BenchmarkCountColumnar(b *testing.B) {
+	for _, d := range []int{8, 16, 32} {
+		b.Run(fmt.Sprintf("d%d", d), func(b *testing.B) { benchCountChildren(b, d, false) })
+	}
+}
+
+func BenchmarkCountRowMajor(b *testing.B) {
+	for _, d := range []int{8, 16, 32} {
+		b.Run(fmt.Sprintf("d%d", d), func(b *testing.B) { benchCountChildren(b, d, true) })
+	}
+}

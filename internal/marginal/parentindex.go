@@ -27,11 +27,15 @@ import (
 const MaxParentConfigs = math.MaxUint32
 
 // ParentIndex encodes each dataset row's parent-set configuration as a
-// flat code: Codes[r] is the row-major index of row r's (generalized)
-// parent values, exactly the cell offset a [parents...] count table would
-// use. One index drives joint counting for any number of child
-// attributes via CountChildren, replacing per-candidate O(n·(k+1)) scans
-// with a single fused O(n) pass per child.
+// flat code: RowCodes()[r] is the row-major index of row r's
+// (generalized) parent values, exactly the cell offset a [parents...]
+// count table would use. One index drives joint counting for any number
+// of child attributes via CountChildren, replacing per-candidate
+// O(n·(k+1)) scans with a single fused O(n) pass per child — and when
+// the parent set and child are bit-packed low-arity columns,
+// CountChildren skips the row codes entirely and counts by bitmask
+// intersection + popcount (see popcount.go), so the O(n·k) code build
+// is lazy: it is only ever paid by parent sets that need the row path.
 type ParentIndex struct {
 	// Vars are the parent variables in materialization order. The order
 	// is part of the index identity: joint tables are laid out
@@ -42,11 +46,13 @@ type ParentIndex struct {
 	Dims []int
 	// PiDim is the number of parent configurations (product of Dims).
 	PiDim int
-	// Codes holds one configuration code per row. It is nil when the
-	// parent set is empty (every row is configuration 0).
-	Codes []uint32
 
-	n int
+	ds  *dataset.Dataset
+	par int // parallelism for the lazy code build
+	n   int
+
+	codesOnce sync.Once
+	codes     []uint32
 
 	mu       sync.Mutex
 	piCounts []float64 // exact per-configuration counts; derived lazily
@@ -54,16 +60,18 @@ type ParentIndex struct {
 	hpiSet   bool
 }
 
-// BuildParentIndex scans the dataset once — O(n·k) with taxonomy
-// generalization applied through the usual lookup tables — and returns
-// the parent-configuration index. Row codes are written by row position,
-// so the result is identical at every parallelism (<= 0 selects
-// GOMAXPROCS). Panics if the configuration space exceeds
-// MaxParentConfigs; callers guard with ParentConfigs first.
+// BuildParentIndex validates the parent-configuration space and returns
+// the index. The O(n·k) row-code scan — taxonomy generalization applied
+// through the usual lookup tables — is deferred to the first RowCodes
+// call, so popcount-eligible parent sets never pay it. Panics if the
+// configuration space exceeds MaxParentConfigs; callers guard with
+// ParentConfigs first.
 func BuildParentIndex(ds *dataset.Dataset, parents []Var, parallelism int) *ParentIndex {
 	ix := &ParentIndex{
 		Vars: append([]Var(nil), parents...),
 		Dims: make([]int, len(parents)),
+		ds:   ds,
+		par:  parallelism,
 		n:    ds.N(),
 	}
 	size := 1
@@ -75,20 +83,35 @@ func BuildParentIndex(ds *dataset.Dataset, parents []Var, parallelism int) *Pare
 		}
 	}
 	ix.PiDim = size
-	if len(parents) == 0 || ix.n == 0 {
-		return ix
+	return ix
+}
+
+// RowCodes returns the per-row parent-configuration codes, building
+// them on first use. It is nil when the parent set is empty (every row
+// is configuration 0) or the dataset has no rows. Row codes are written
+// by row position, so the result is identical at every parallelism
+// (<= 0 selects GOMAXPROCS).
+func (ix *ParentIndex) RowCodes() []uint32 {
+	if len(ix.Vars) == 0 || ix.n == 0 {
+		return nil
 	}
+	ix.codesOnce.Do(ix.buildCodes)
+	return ix.codes
+}
+
+func (ix *ParentIndex) buildCodes() {
 	t := &Table{Vars: ix.Vars, Dims: ix.Dims}
-	c := newCounter(t, ds)
-	ix.Codes = make([]uint32, ix.n)
-	workers := parallel.Workers(parallelism)
+	c := newCounter(t, ix.ds)
+	ix.codes = make([]uint32, ix.n)
+	workers := parallel.Workers(ix.par)
 	parallel.ForChunks(workers, ix.n, materializeChunk, func(_, lo, hi int) {
 		// Parent-outer accumulation: codes[r] = Σ stride_i·code_i(r).
 		// Each pass is a tight two-array loop (hoisted column, stride and
 		// lookup), and the chunk keeps the codes slice L1-resident.
-		codes := ix.Codes[lo:hi]
+		codes := ix.codes[lo:hi]
+		buf := getU16(hi - lo)
 		for i := range c.strides {
-			col := c.cols[i][lo:hi]
+			col := c.cols[i].DecodeRange(lo, hi, buf)
 			stride := uint32(c.strides[i])
 			if g := c.gen[i]; g != nil {
 				for r, v := range col {
@@ -100,9 +123,9 @@ func BuildParentIndex(ds *dataset.Dataset, parents []Var, parallelism int) *Pare
 				}
 			}
 		}
+		putU16(buf)
 	})
 	c.release()
-	return ix
 }
 
 // ParentConfigs returns the size of the flat configuration space for a
@@ -122,10 +145,13 @@ func ParentConfigs(ds *dataset.Dataset, parents []Var) (int, bool) {
 func (ix *ParentIndex) N() int { return ix.n }
 
 // CountChildren materializes the exact joint count tables over
-// [ix.Vars..., child] for every child in a single fused pass over the
-// rows: each row contributes one increment per child at offset
-// Codes[r]·|dom(child)| + code(child). Counts are integer-valued, so
-// per-worker partials merge exactly and the result is bit-identical to
+// [ix.Vars..., child] for every child. Popcount-eligible children —
+// bit-packed low-arity parents and child, small joint — are counted by
+// bitmask intersection + popcount without ever building row codes; the
+// rest share a single fused pass over the rows, each row contributing
+// one increment per child at offset RowCodes()[r]·|dom(child)| +
+// code(child). Both paths produce integer counts, so per-worker
+// partials merge exactly and the result is bit-identical to
 // MaterializeCounts for each child, at every parallelism.
 func (ix *ParentIndex) CountChildren(ds *dataset.Dataset, children []Var, parallelism int) []*Table {
 	m := len(children)
@@ -138,25 +164,73 @@ func (ix *ParentIndex) CountChildren(ds *dataset.Dataset, children []Var, parall
 	if m == 0 {
 		return out
 	}
+	xdim := make([]int, m)
+	for j, ch := range children {
+		xdim[j] = ch.Size(ds)
+	}
 	if ix.n == 0 {
 		return out
 	}
 
+	// Popcount fast path for eligible children; the rest fall through
+	// to the fused row walk.
+	rest := make([]int, 0, m)
+	if pk, ok := newPopKernel(ds, ix.Vars); ok {
+		popChildren := make([]Var, 0, m)
+		popDsts := make([][]float64, 0, m)
+		for j, ch := range children {
+			if pk.childOK(ch) {
+				popChildren = append(popChildren, ch)
+				popDsts = append(popDsts, out[j].P)
+			} else {
+				rest = append(rest, j)
+			}
+		}
+		pk.countChildren(popChildren, popDsts)
+		pk.release()
+	} else {
+		for j := range children {
+			rest = append(rest, j)
+		}
+	}
+
+	if len(rest) > 0 {
+		ix.countChildrenRows(ds, children, rest, xdim, out, parallelism)
+	}
+
+	// Derive the Π marginal by projection from the first child joint —
+	// integer sums are exact, so any child (from either path) yields the
+	// same counts and no extra row scan is ever needed.
+	ix.mu.Lock()
+	if ix.piCounts == nil {
+		ix.piCounts = projectPiCounts(out[0].P, xdim[0], ix.PiDim)
+	}
+	ix.mu.Unlock()
+	return out
+}
+
+// countChildrenRows runs the fused row walk for the children out[j],
+// j ∈ rest, that the popcount kernel did not take.
+func (ix *ParentIndex) countChildrenRows(ds *dataset.Dataset, children []Var, rest []int, xdim []int, out []*Table, parallelism int) {
 	// Per-child column, generalization lookup and domain size for the
 	// fused inner loop.
-	cols := make([][]uint16, m)
-	gens := make([][]int, m)
-	xdim := make([]int, m)
-	for j, ch := range children {
-		cols[j] = ds.Column(ch.Attr)
-		xdim[j] = ch.Size(ds)
+	mr := len(rest)
+	cols := make([]*dataset.Column, mr)
+	gens := make([][]int, mr)
+	rxd := make([]int, mr)
+	outP := make([][]float64, mr)
+	for i, j := range rest {
+		ch := children[j]
+		cols[i] = ds.Col(ch.Attr)
+		rxd[i] = xdim[j]
+		outP[i] = out[j].P
 		if ch.Level > 0 {
 			a := ds.Attr(ch.Attr)
 			g := getInts(a.Size())
 			for code := range g {
 				g[code] = a.Generalize(ch.Level, code)
 			}
-			gens[j] = g
+			gens[i] = g
 		}
 	}
 	defer func() {
@@ -167,67 +241,56 @@ func (ix *ParentIndex) CountChildren(ds *dataset.Dataset, children []Var, parall
 		}
 	}()
 
+	codes := ix.RowCodes()
 	workers := parallel.Workers(parallelism)
 	nc := parallel.Chunks(ix.n, materializeChunk)
 	if workers <= 1 || nc <= 1 {
-		dst := make([][]float64, m)
-		for j := range dst {
-			dst[j] = out[j].P
-		}
 		// Chunked even when serial: each chunk's parent codes stay
 		// L1-resident across the per-child passes.
 		for lo := 0; lo < ix.n; lo += materializeChunk {
 			hi := min(lo+materializeChunk, ix.n)
-			ix.countChildrenRange(lo, hi, cols, gens, xdim, dst)
+			countChildrenRange(lo, hi, codes, cols, gens, rxd, outP)
 		}
 	} else {
 		scratch := make([][][]float64, workers)
 		parallel.ForChunks(workers, ix.n, materializeChunk, func(worker, lo, hi int) {
 			if scratch[worker] == nil {
-				s := make([][]float64, m)
-				for j := range s {
-					s[j] = getFloats(len(out[j].P))
+				s := make([][]float64, mr)
+				for i := range s {
+					s[i] = getFloats(len(outP[i]))
 				}
 				scratch[worker] = s
 			}
-			ix.countChildrenRange(lo, hi, cols, gens, xdim, scratch[worker])
+			countChildrenRange(lo, hi, codes, cols, gens, rxd, scratch[worker])
 		})
 		for _, s := range scratch {
 			if s == nil {
 				continue
 			}
-			for j := range s {
-				dst := out[j].P
-				for i, v := range s[j] {
-					dst[i] += v
+			for i := range s {
+				dst := outP[i]
+				for c, v := range s[i] {
+					dst[c] += v
 				}
-				putFloats(s[j])
+				putFloats(s[i])
 			}
 		}
 	}
-
-	// Derive the Π marginal by projection from the first child joint —
-	// integer sums are exact, so any child yields the same counts and no
-	// extra row scan is ever needed.
-	ix.mu.Lock()
-	if ix.piCounts == nil {
-		ix.piCounts = projectPiCounts(out[0].P, xdim[0], ix.PiDim)
-	}
-	ix.mu.Unlock()
-	return out
 }
 
 // countChildrenRange is the fused counting kernel: within one row chunk
 // the parent codes stay L1-resident while each child is counted by a
 // tight two-array loop with hoisted column, lookup and destination — one
 // increment per (row, child), never re-reading the parent columns.
-func (ix *ParentIndex) countChildrenRange(lo, hi int, cols [][]uint16, gens [][]int, xdim []int, dst [][]float64) {
+// Decode scratch is per call, so concurrent chunk calls are race-free.
+func countChildrenRange(lo, hi int, allCodes []uint32, cols []*dataset.Column, gens [][]int, xdim []int, dst [][]float64) {
 	var codes []uint32
-	if ix.Codes != nil {
-		codes = ix.Codes[lo:hi]
+	if allCodes != nil {
+		codes = allCodes[lo:hi]
 	}
+	buf := getU16(hi - lo)
 	for j := range cols {
-		col := cols[j][lo:hi]
+		col := cols[j].DecodeRange(lo, hi, buf)
 		d := dst[j]
 		xd := xdim[j]
 		switch {
@@ -251,6 +314,7 @@ func (ix *ParentIndex) countChildrenRange(lo, hi int, cols [][]uint16, gens [][]
 			}
 		}
 	}
+	putU16(buf)
 }
 
 // projectPiCounts sums a [Π..., X] count table over its child dimension.
@@ -267,17 +331,20 @@ func projectPiCounts(joint []float64, xdim, piDim int) []float64 {
 }
 
 // PiCounts returns the exact per-configuration counts of the parent
-// marginal, deriving them from Codes when no child joint has provided
-// them by projection yet. The caller must not mutate the result.
+// marginal when no child joint has provided them by projection yet —
+// via the popcount kernel when the parent set is eligible, else from
+// the row codes. The caller must not mutate the result.
 func (ix *ParentIndex) PiCounts() []float64 {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 	if ix.piCounts == nil {
 		counts := make([]float64, ix.PiDim)
-		if ix.Codes == nil {
+		if len(ix.Vars) == 0 || ix.n == 0 {
 			counts[0] = float64(ix.n)
+		} else if t, ok := popcountCounts(ix.ds, ix.Vars); ok {
+			copy(counts, t.P)
 		} else {
-			for _, c := range ix.Codes {
+			for _, c := range ix.RowCodes() {
 				counts[c]++
 			}
 		}

@@ -41,13 +41,14 @@ func TestParentIndexCodes(t *testing.T) {
 			t.Fatalf("PiDim = %d, want 6", ix.PiDim)
 		}
 		ref := NewTable(ds, parents)
+		codes := ix.RowCodes()
 		for r := 0; r < ds.N(); r++ {
 			want := ref.Index([]int{
 				ds.Attr(0).Generalize(1, ds.Value(r, 0)),
 				ds.Value(r, 1),
 			})
-			if int(ix.Codes[r]) != want {
-				t.Fatalf("parallelism %d row %d: code %d, want %d", par, r, ix.Codes[r], want)
+			if int(codes[r]) != want {
+				t.Fatalf("parallelism %d row %d: code %d, want %d", par, r, codes[r], want)
 			}
 		}
 	}
@@ -132,8 +133,8 @@ func TestParentIndexEntropy(t *testing.T) {
 func TestEmptyParentSetCounting(t *testing.T) {
 	ds := hierData(1500, 5)
 	ix := BuildParentIndex(ds, nil, 4)
-	if ix.PiDim != 1 || ix.Codes != nil {
-		t.Fatalf("empty parent set: PiDim %d Codes %v", ix.PiDim, ix.Codes != nil)
+	if ix.PiDim != 1 || ix.RowCodes() != nil {
+		t.Fatalf("empty parent set: PiDim %d Codes %v", ix.PiDim, ix.RowCodes() != nil)
 	}
 	got := ix.CountChildren(ds, []Var{{Attr: 2}}, 4)[0]
 	want := MaterializeCounts(ds, []Var{{Attr: 2}})

@@ -36,6 +36,53 @@ func putFloats(s []float64) {
 	floatPool.Put(&s)
 }
 
+var u16Pool = sync.Pool{New: func() any { s := make([]uint16, 0, 4096); return &s }}
+
+// getU16 returns a uint16 scratch buffer of exactly n cells (not
+// zeroed) — the per-chunk column-decode scratch of the counting loops.
+func getU16(n int) []uint16 {
+	p := u16Pool.Get().(*[]uint16)
+	s := *p
+	if cap(s) < n {
+		return make([]uint16, n)
+	}
+	s = s[:n]
+	*p = s
+	return s
+}
+
+// putU16 returns a buffer obtained from getU16 to the pool.
+func putU16(s []uint16) {
+	if cap(s) == 0 {
+		return
+	}
+	u16Pool.Put(&s)
+}
+
+var wordPool = sync.Pool{New: func() any { s := make([]uint64, 0, 1024); return &s }}
+
+// getWords returns a uint64 scratch buffer of exactly n words (not
+// zeroed) — row-bitmask scratch for the popcount counting kernel, whose
+// users overwrite every word.
+func getWords(n int) []uint64 {
+	p := wordPool.Get().(*[]uint64)
+	s := *p
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	s = s[:n]
+	*p = s
+	return s
+}
+
+// putWords returns a buffer obtained from getWords to the pool.
+func putWords(s []uint64) {
+	if cap(s) == 0 {
+		return
+	}
+	wordPool.Put(&s)
+}
+
 var intPool = sync.Pool{New: func() any { s := make([]int, 0, 256); return &s }}
 
 // getInts returns an int scratch buffer of exactly n cells (not zeroed).

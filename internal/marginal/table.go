@@ -82,23 +82,52 @@ func (t *Table) Codes(idx int, dst []int) []int {
 // on the dataset, normalized to total mass 1 (Line 3 of Algorithm 1).
 // With n = 0 rows the table is uniform.
 func Materialize(ds *dataset.Dataset, vars []Var) *Table {
-	t := NewTable(ds, vars)
 	n := ds.N()
 	if n == 0 {
+		t := NewTable(ds, vars)
 		u := 1 / float64(len(t.P))
 		for i := range t.P {
 			t.P[i] = u
 		}
 		return t
 	}
+	if t, ok := popcountCounts(ds, vars); ok {
+		// Exact integer counts rescaled by the repeated-addition rule
+		// reproduce the serial +1/n row walk bit for bit (see Ladder).
+		serialScale(t, n)
+		return t
+	}
+	t := NewTable(ds, vars)
 	t.countInto(ds, 1/float64(n))
 	return t
+}
+
+// serialScale turns an exact count table into the probability table the
+// serial countInto(ds, 1/n) accumulation would have produced, bit for
+// bit: a cell hit m times holds the result of m successive additions of
+// 1/n, and cells accumulate independently, so replaying each cell's
+// additions reproduces the row walk exactly. Total work is Σ counts = n
+// float additions — the row walk's accumulation cost without touching
+// the rows.
+func serialScale(t *Table, n int) {
+	inv := 1 / float64(n)
+	for i, p := range t.P {
+		m := int(p)
+		var acc float64
+		for j := 0; j < m; j++ {
+			acc += inv
+		}
+		t.P[i] = acc
+	}
 }
 
 // MaterializeCounts computes raw integer counts (as float64 values). The
 // F score's dynamic program relies on every cell being a multiple of 1/n;
 // counts keep that exact.
 func MaterializeCounts(ds *dataset.Dataset, vars []Var) *Table {
+	if t, ok := popcountCounts(ds, vars); ok {
+		return t
+	}
 	t := NewTable(ds, vars)
 	t.countInto(ds, 1)
 	return t
@@ -112,24 +141,25 @@ func (t *Table) countInto(ds *dataset.Dataset, w float64) {
 
 // counter precomputes per-variable stride, column, and generalization
 // lookups so the row loop is a handful of array reads per variable. One
-// counter can drive many row ranges, which is what the chunked parallel
+// counter can drive many row ranges concurrently — countRange keeps its
+// decode scratch per call — which is what the chunked parallel
 // materialization fans out over.
 type counter struct {
 	strides []int
-	cols    [][]uint16
+	cols    []*dataset.Column
 	gen     [][]int // nil when level == 0
 }
 
 func newCounter(t *Table, ds *dataset.Dataset) *counter {
 	k := len(t.Vars)
-	c := &counter{strides: make([]int, k), cols: make([][]uint16, k), gen: make([][]int, k)}
+	c := &counter{strides: make([]int, k), cols: make([]*dataset.Column, k), gen: make([][]int, k)}
 	s := 1
 	for i := k - 1; i >= 0; i-- {
 		c.strides[i] = s
 		s *= t.Dims[i]
 	}
 	for i, v := range t.Vars {
-		c.cols[i] = ds.Column(v.Attr)
+		c.cols[i] = ds.Col(v.Attr)
 		if v.Level > 0 {
 			a := ds.Attr(v.Attr)
 			m := getInts(a.Size())
@@ -153,19 +183,43 @@ func (c *counter) release() {
 	}
 }
 
-// countRange accumulates w per row of [lo, hi) into dst.
+// countRange accumulates w per row of [lo, hi) into dst, decoding
+// columns a chunk at a time so bit-packed columns unpack word-at-a-time
+// instead of per row-read. Row order is preserved, keeping the serial
+// accumulation bit-identical to the pre-columnar row walk. Safe for
+// concurrent calls on one counter: decode scratch is per call.
 func (c *counter) countRange(lo, hi int, w float64, dst []float64) {
 	k := len(c.strides)
-	for r := lo; r < hi; r++ {
-		idx := 0
-		for i := 0; i < k; i++ {
-			code := int(c.cols[i][r])
-			if c.gen[i] != nil {
-				code = c.gen[i][code]
-			}
-			idx += code * c.strides[i]
+	if k == 0 {
+		for r := lo; r < hi; r++ {
+			dst[0] += w
 		}
-		dst[idx] += w
+		return
+	}
+	decoded := make([][]uint16, k)
+	scratch := make([][]uint16, k)
+	for i := range scratch {
+		scratch[i] = getU16(materializeChunk)
+	}
+	for a := lo; a < hi; a += materializeChunk {
+		b := min(a+materializeChunk, hi)
+		for i := range decoded {
+			decoded[i] = c.cols[i].DecodeRange(a, b, scratch[i])
+		}
+		for r := range b - a {
+			idx := 0
+			for i := 0; i < k; i++ {
+				code := int(decoded[i][r])
+				if c.gen[i] != nil {
+					code = c.gen[i][code]
+				}
+				idx += code * c.strides[i]
+			}
+			dst[idx] += w
+		}
+	}
+	for i := range scratch {
+		putU16(scratch[i])
 	}
 }
 
@@ -201,6 +255,12 @@ func MaterializeCountsP(ds *dataset.Dataset, vars []Var, parallelism int) *Table
 	n := ds.N()
 	if parallelism == 1 || n == 0 {
 		return MaterializeCounts(ds, vars)
+	}
+	// The popcount kernel already beats the fan-out on eligible
+	// low-arity marginals, and its integer counts are the same exact
+	// values the merged per-worker partials would hold.
+	if t, ok := popcountCounts(ds, vars); ok {
+		return t
 	}
 	workers := parallel.Workers(parallelism)
 	t := NewTable(ds, vars)

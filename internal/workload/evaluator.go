@@ -38,7 +38,9 @@ func NewEvaluator(real *dataset.Dataset, alpha, maxSubsets, parallelism int, rng
 	e := &Evaluator{real: real, Alpha: alpha, Subsets: subsets}
 	// Ground-truth marginals are independent full passes over the real
 	// data; fan them out, one serial materialization per subset, with
-	// ordered reduction — bit-identical to the serial loop.
+	// ordered reduction — bit-identical to the serial loop. Low-arity
+	// subsets over bit-packed columns take Materialize's popcount fast
+	// path (itself bit-identical to the serial row walk).
 	e.truth = parallel.Map(parallel.Workers(parallelism), len(subsets), func(i int) *marginal.Table {
 		attrs := subsets[i]
 		vars := make([]marginal.Var, len(attrs))

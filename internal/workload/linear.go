@@ -49,7 +49,7 @@ func (q LinearQuery) Evaluate(ds *dataset.Dataset) float64 {
 	}
 	cols := make([][]uint16, len(q.Attrs))
 	for i, a := range q.Attrs {
-		cols[i] = ds.Column(a)
+		cols[i] = ds.ColumnCodes(a)
 	}
 	var sum float64
 	for r := 0; r < n; r++ {

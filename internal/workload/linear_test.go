@@ -76,7 +76,7 @@ func TestAvgLinearQueryErrorProperties(t *testing.T) {
 	perm := ds.Clone()
 	// Destroy correlations by shuffling one column independently.
 	rng := rand.New(rand.NewSource(3))
-	col := append([]uint16(nil), perm.Column(0)...)
+	col := append([]uint16(nil), perm.ColumnCodes(0)...)
 	rng.Shuffle(len(col), func(i, j int) { col[i], col[j] = col[j], col[i] })
 	broken := dataset.New(ds.Attrs())
 	rec := make([]uint16, ds.D())
